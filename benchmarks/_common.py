@@ -1,0 +1,55 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``test_e*.py`` file regenerates one experiment of EXPERIMENTS.md:
+it computes the experiment's table, prints it (so the harness output
+documents the reproduction), attaches the headline numbers to the
+pytest-benchmark ``extra_info``, and benchmarks a representative
+analysis call.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.config import MachineConfig
+from repro.workloads import (Workload, analyze_workload, get_workload,
+                             observed_worst_case, workload_names)
+
+#: Kernels used when an experiment needs a representative subset.
+CORE_KERNELS = ("fibcall", "insertsort", "bsort", "matmult", "crc",
+                "fir", "bs", "ns", "cnt", "statemate", "edn",
+                "calltree", "duff", "fdct")
+
+
+@lru_cache(maxsize=None)
+def compiled(name: str):
+    workload = get_workload(name)
+    return workload, workload.compile()
+
+
+@lru_cache(maxsize=None)
+def analyzed(name: str):
+    workload, program = compiled(name)
+    return analyze_workload(workload)
+
+
+@lru_cache(maxsize=None)
+def observed(name: str, runs: int = 20) -> Tuple[int, int]:
+    workload, program = compiled(name)
+    return observed_worst_case(workload, program, runs=runs)
+
+
+def print_table(title: str, header: List[str],
+                rows: List[List[str]]) -> None:
+    print()
+    print(title)
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w)
+                        for cell, w in zip(row, widths)))
+    print()

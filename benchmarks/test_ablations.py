@@ -1,0 +1,242 @@
+"""A1-A6 — ablations of the design choices in DESIGN.md.
+
+Each ablation disables one ingredient of the full analysis and
+measures the cost in precision (or shows why the ingredient is
+necessary), on representative kernels:
+
+* D1 widening thresholds + narrowing,
+* D2 abstract domain (constant propagation vs intervals),
+* D3 cache classification components (persistence, may analysis),
+* D4 value-analysis-driven D-cache addresses,
+* D5 infeasible-path constraints,
+* D6 ILP integrality vs LP relaxation.
+"""
+
+import pytest
+
+from _common import analyzed, print_table
+from repro.analysis import Const, analyze_loop_bounds, analyze_values
+from repro.cache.abstract import Classification
+from repro.cache.analysis import DCacheResult, ICacheResult
+from repro.cfg import build_cfg, expand_task
+from repro.path.ipet import UnboundedLoopError, analyze_paths
+from repro.pipeline.analysis import analyze_pipeline
+from repro.wcet import analyze_wcet
+from repro.workloads import analyze_workload, get_workload
+
+
+def test_a1_widening_thresholds_and_narrowing(benchmark):
+    """D1: without thresholds and narrowing, widened loop counters keep
+    an infinite upper bound after the loop; the full strategy recovers
+    the exact post-loop value."""
+    from repro.isa import assemble
+
+    program = assemble("""
+    main:
+        MOVI R0, #0
+    loop:
+        ADDI R0, R0, #1
+        CMPI R0, #100
+        BLT loop
+    done:
+        MOVI R1, #0
+        HALT
+    """)
+    graph = expand_task(build_cfg(program))
+    done_node = next(n for n in graph.nodes()
+                     if n.block == program.symbols["done"])
+
+    rows = []
+    widths = {}
+    for label, thresholds, narrowing in (
+            ("thresholds+narrowing", True, 2),
+            ("narrowing only", False, 2),
+            ("plain widening", False, 0)):
+        values = analyze_values(graph,
+                                use_widening_thresholds=thresholds,
+                                narrowing_passes=narrowing)
+        lo, hi = values.fixpoint.state_at(done_node).get(0) \
+            .signed_bounds()
+        widths[label] = hi - lo
+        rows.append([label, f"[{lo}, {hi}]", hi - lo])
+        # Soundness in every configuration: 100 is the actual value.
+        assert lo <= 100 <= hi
+    print_table(
+        "A1: counter interval after the loop under widening strategies",
+        ["configuration", "R0 at exit", "width"], rows)
+    assert widths["thresholds+narrowing"] == 0
+    assert widths["plain widening"] > widths["thresholds+narrowing"]
+
+    benchmark(lambda: analyze_values(graph))
+
+
+def test_a2_domain_choice(benchmark):
+    """D2: constant propagation cannot bound input-ranged loops that
+    intervals handle; interval analysis dominates on address precision."""
+    program = get_workload("matmult").compile()
+    graph = expand_task(build_cfg(program))
+    interval_values = analyze_values(graph)
+    const_values = analyze_values(graph, domain=Const)
+
+    interval_stats = interval_values.precision()
+    const_stats = const_values.precision()
+    rows = [
+        ["interval", interval_stats.exact, interval_stats.bounded,
+         interval_stats.unknown],
+        ["constprop", const_stats.exact, const_stats.bounded,
+         const_stats.unknown],
+    ]
+    print_table("A2: address precision by domain (matmult)",
+                ["domain", "exact", "bounded", "unknown"], rows)
+    assert interval_stats.unknown <= const_stats.unknown
+    assert interval_stats.exact >= const_stats.exact
+
+    benchmark(lambda: analyze_values(graph, domain=Const))
+
+
+def _reclassified_wcet(result, strip_persistence=False, strip_may=False):
+    def strip(outcome):
+        if strip_persistence and outcome is Classification.PERSISTENT:
+            return Classification.NOT_CLASSIFIED
+        if strip_may and outcome is Classification.ALWAYS_MISS:
+            return Classification.NOT_CLASSIFIED
+        return outcome
+
+    icache = ICacheResult(
+        result.icache.config,
+        {node: [strip(o) for o in items]
+         for node, items in result.icache.classifications.items()},
+        result.icache.stats)
+    dcache = DCacheResult(
+        result.dcache.config,
+        {node: [type(item)(item.access, strip(item.classification))
+                for item in items]
+         for node, items in result.dcache.classified.items()},
+        result.dcache.stats)
+    timing = analyze_pipeline(result.graph, result.config, icache,
+                              dcache)
+    return analyze_paths(result.graph, timing, result.loop_bounds,
+                         result.values).wcet_cycles
+
+
+def test_a3_cache_components(benchmark):
+    """D3: dropping persistence analysis loosens the bound whenever
+    first-miss classification was carrying weight."""
+    rows = []
+    for name in ("fir", "matmult", "crc"):
+        result = analyzed(name)
+        full = result.wcet_cycles
+        no_persistence = _reclassified_wcet(result,
+                                            strip_persistence=True)
+        rows.append([name, full, no_persistence,
+                     f"{no_persistence / full:.2f}x"])
+        assert no_persistence >= full
+    print_table(
+        "A3: WCET without persistence (PS treated as NC)",
+        ["kernel", "full analysis", "no persistence", "penalty"], rows)
+    result = analyzed("fir")
+    benchmark(lambda: _reclassified_wcet(result, strip_persistence=True))
+
+
+def test_a4_value_analysis_for_dcache(benchmark):
+    """D4: without value-analysis addresses the D-cache analysis sees
+    unknown accesses everywhere and the bound inflates."""
+    rows = []
+    for name in ("fir", "matmult"):
+        workload = get_workload(name)
+        smart = analyze_workload(workload,
+                                 use_value_analysis_for_dcache=True)
+        blind = analyze_workload(workload,
+                                 use_value_analysis_for_dcache=False)
+        rows.append([name, smart.wcet_cycles, blind.wcet_cycles,
+                     f"{blind.wcet_cycles / smart.wcet_cycles:.2f}x"])
+        assert blind.wcet_cycles >= smart.wcet_cycles
+    print_table(
+        "A4: D-cache analysis with vs without value analysis",
+        ["kernel", "with addresses", "unknown addresses", "penalty"],
+        rows)
+    workload = get_workload("fir")
+    benchmark(lambda: analyze_workload(
+        workload, use_value_analysis_for_dcache=False))
+
+
+def test_a5_infeasible_paths_see_e4(benchmark):
+    """D5 is quantified in E4; here we only assert the switch works on
+    a corpus kernel without changing soundness."""
+    workload = get_workload("statemate")
+    pruned = analyze_workload(workload, use_infeasible_paths=True)
+    unpruned = analyze_workload(workload, use_infeasible_paths=False)
+    assert pruned.wcet_cycles <= unpruned.wcet_cycles
+    benchmark(lambda: analyze_workload(workload,
+                                       use_infeasible_paths=False))
+
+
+def test_a7_strided_vs_plain_intervals(benchmark):
+    """A7 (domain extension): strided intervals expose sparse address
+    sets for scaled array accesses, trimming D-cache candidate lines
+    and never loosening the bound."""
+    from repro.analysis import StridedInterval
+    from repro.lang import compile_program
+    from repro.sim import run_program
+
+    # Column walk through a 16x16 matrix: stride-64 accesses.
+    SOURCE = """
+    int m[256];
+    int colsum;
+    void main() {
+        int j;
+        colsum = 0;
+        for (j = 0; j < 16; j = j + 1) {
+            colsum = colsum + m[j * 16 + 3];
+        }
+    }
+    """
+    program = compile_program(SOURCE)
+    interval = analyze_wcet(program)
+    strided = analyze_wcet(program, domain=StridedInterval)
+    execution = run_program(program)
+
+    def candidate_lines(result):
+        total = 0
+        for item in result.dcache.all_accesses():
+            values = item.access.address.possible_values(1024)
+            if values is not None:
+                total += len({result.dcache.config.line_of(v)
+                              for v in values})
+            else:
+                lo, hi = item.access.byte_range
+                total += (result.dcache.config.line_of(hi)
+                          - result.dcache.config.line_of(lo) + 1)
+        return total
+
+    rows = [
+        ["interval", candidate_lines(interval), interval.wcet_cycles],
+        ["strided interval", candidate_lines(strided),
+         strided.wcet_cycles],
+    ]
+    print_table(
+        "A7: D-cache candidate lines and WCET by domain (column walk)",
+        ["domain", "total candidate lines", "WCET bound"], rows)
+    assert strided.wcet_cycles >= execution.cycles
+    assert interval.wcet_cycles >= execution.cycles
+    assert strided.wcet_cycles <= interval.wcet_cycles
+    assert candidate_lines(strided) <= candidate_lines(interval)
+
+    benchmark(lambda: analyze_wcet(program, domain=StridedInterval))
+
+
+def test_a6_ilp_vs_lp_relaxation(benchmark):
+    """D6: the LP relaxation is itself a sound WCET bound; integrality
+    confirms it is (usually) already exact on IPET programs."""
+    rows = []
+    for name in ("fibcall", "matmult", "statemate", "calltree"):
+        result = analyzed(name)
+        rows.append([name, f"{result.path.lp_bound:.1f}",
+                     result.wcet_cycles,
+                     "yes" if result.path.integral else "no"])
+        assert result.path.lp_bound >= result.wcet_cycles - 1e-6
+    print_table(
+        "A6: LP relaxation vs integer optimum",
+        ["kernel", "LP bound", "ILP WCET", "relaxation integral"], rows)
+    workload = get_workload("matmult")
+    benchmark(lambda: analyze_workload(workload, integer=False))

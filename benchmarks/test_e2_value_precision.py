@@ -1,0 +1,44 @@
+"""E2 — value analysis precision on memory-access addresses.
+
+Paper claim (Section 3): value analysis results "are usually so good
+that only a few indirect accesses cannot be determined exactly".
+Reproduced as: the fraction of memory accesses whose address the
+interval analysis determines exactly / within a bounded range.
+"""
+
+from _common import CORE_KERNELS, analyzed, print_table
+from repro.cfg import build_cfg, expand_task
+from repro.analysis import analyze_values
+from repro.workloads import get_workload
+
+
+def test_e2_value_precision(benchmark):
+    rows = []
+    total_exact = total_bounded = total_unknown = 0
+    for name in CORE_KERNELS:
+        stats = analyzed(name).values.precision()
+        total_exact += stats.exact
+        total_bounded += stats.bounded
+        total_unknown += stats.unknown
+        rows.append([name, stats.exact, stats.bounded, stats.unknown,
+                     f"{100 * stats.exact_ratio:.0f}%"])
+    grand_total = total_exact + total_bounded + total_unknown
+    rows.append(["TOTAL", total_exact, total_bounded, total_unknown,
+                 f"{100 * total_exact / grand_total:.0f}%"])
+
+    print_table(
+        "E2: address determination by value analysis",
+        ["kernel", "exact", "bounded", "unknown", "exact%"], rows)
+
+    # The paper's qualitative claim: unknown addresses are rare.
+    assert total_unknown / grand_total < 0.05
+    assert total_exact / grand_total > 0.5
+
+    benchmark.extra_info["exact_pct"] = round(
+        100 * total_exact / grand_total, 1)
+    benchmark.extra_info["unknown_pct"] = round(
+        100 * total_unknown / grand_total, 1)
+
+    program = get_workload("matmult").compile()
+    graph = expand_task(build_cfg(program))
+    benchmark(lambda: analyze_values(graph))

@@ -1,0 +1,38 @@
+"""E5 — StackAnalyzer bounds vs measurement.
+
+Paper claim (Section 2): "Measuring the maximum stack usage with a
+debugger is no solution since one only obtains results for single
+program runs with fixed inputs.  Even repeated measurements cannot
+guarantee that the maximum stack usage is ever observed."  Reproduced
+as: the verified bound covers every simulated run, while single-run
+measurement can under-estimate what later runs reach.
+"""
+
+from _common import CORE_KERNELS, compiled, observed, print_table
+from repro.stack import analyze_stack
+from repro.workloads import simulate_workload
+
+
+def test_e5_stack_bounds(benchmark):
+    rows = []
+    for name in CORE_KERNELS:
+        workload, program = compiled(name)
+        bound = analyze_stack(program).bound
+        single = simulate_workload(workload, program).max_stack_usage
+        _, many = observed(name)
+        rows.append([name, bound, single, many,
+                     "=" if bound == many else ">"])
+        assert bound >= many, f"{name}: stack bound unsound"
+    print_table(
+        "E5: verified stack bound vs measured maxima",
+        ["kernel", "verified bound", "1 run", "20 runs", "bound vs 20"],
+        rows)
+
+    exact = sum(1 for row in rows if row[4] == "=")
+    print(f"bound exactly reached by some run: {exact}/{len(rows)} "
+          "kernels")
+    benchmark.extra_info["exact_bounds"] = exact
+    benchmark.extra_info["kernels"] = len(rows)
+
+    _workload, program = compiled("calltree")
+    benchmark(lambda: analyze_stack(program))

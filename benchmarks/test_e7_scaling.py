@@ -1,0 +1,76 @@
+"""E7 — analysis-time scaling with program size.
+
+Paper claim (Section 3): aiT obtains its bounds "in reasonable time".
+Reproduced as: end-to-end analysis runtime (and its per-phase split)
+over a family of generated programs of growing size.
+"""
+
+import time
+
+from _common import print_table
+from repro.lang import compile_program
+from repro.wcet import analyze_wcet
+
+
+def _generate_program(num_stages: int) -> str:
+    """A pipeline of ``num_stages`` filter stages, each its own loop
+    and function, sized to scale the instruction count linearly."""
+    parts = ["int data[32];", "int result;"]
+    for stage in range(num_stages):
+        parts.append(f"""
+int stage{stage}(int seed) {{
+    int acc = seed;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {{
+        acc = acc + ((data[i] ^ seed) >> 1) + {stage + 1};
+        data[i] = acc & 0xFFFF;
+    }}
+    return acc;
+}}""")
+    calls = "\n    ".join(
+        f"r = stage{stage}(r + {stage});" for stage in range(num_stages))
+    parts.append(f"""
+void main() {{
+    int i;
+    for (i = 0; i < 32; i = i + 1) {{ data[i] = i * 7; }}
+    int r = 1;
+    {calls}
+    result = r;
+}}""")
+    return "\n".join(parts)
+
+
+def test_e7_scaling(benchmark):
+    rows = []
+    points = []
+    for stages in (1, 2, 4, 8, 16):
+        program = compile_program(_generate_program(stages))
+        start = time.perf_counter()
+        result = analyze_wcet(program)
+        elapsed = time.perf_counter() - start
+        instructions = result.binary_cfg.total_instructions()
+        points.append((instructions, elapsed))
+        dominant = max(result.phase_seconds,
+                       key=result.phase_seconds.get)
+        rows.append([stages, instructions,
+                     result.graph.node_count(),
+                     f"{elapsed * 1000:.0f} ms", dominant,
+                     result.wcet_cycles])
+    print_table(
+        "E7: analysis time vs program size",
+        ["stages", "instructions", "task-graph nodes", "total time",
+         "dominant phase", "WCET"], rows)
+
+    # "Reasonable time": the largest program analyses in seconds, and
+    # growth is roughly polynomial of low degree (not exponential).
+    assert points[-1][1] < 30.0
+    small_i, small_t = points[0]
+    large_i, large_t = points[-1]
+    size_factor = large_i / small_i
+    time_factor = large_t / max(small_t, 1e-9)
+    assert time_factor < size_factor ** 3
+
+    benchmark.extra_info["largest_instructions"] = large_i
+    benchmark.extra_info["largest_seconds"] = round(large_t, 3)
+    program = compile_program(_generate_program(4))
+    benchmark(lambda: analyze_wcet(program))

@@ -1,0 +1,93 @@
+"""E8 — loop bound analysis coverage and exactness.
+
+Paper claim (Section 3): "loop bound analysis determines upper bounds
+for the number of iterations of simple loops".  Reproduced as: success
+rate and exactness of the derived bounds over a loop-pattern corpus,
+validated against concrete iteration counts from the simulator.
+"""
+
+from _common import print_table
+from repro.cfg import build_cfg, expand_task
+from repro.analysis import analyze_loop_bounds, analyze_values
+from repro.isa import assemble
+from repro.lang import compile_program
+from repro.sim import run_program
+
+# (name, mini-C source with exactly one loop, expected header count)
+PATTERNS = [
+    ("count_up", """
+int r; void main() { int i; int n = 0;
+for (i = 0; i < 40; i = i + 1) { n = n + i; } r = n; }""", None),
+    ("count_down", """
+int r; void main() { int i = 40; int n = 0;
+while (i > 0) { n = n + i; i = i - 1; } r = n; }""", None),
+    ("stepped", """
+int r; void main() { int i; int n = 0;
+for (i = 0; i < 40; i = i + 3) { n = n + 1; } r = n; }""", None),
+    ("le_bound", """
+int r; void main() { int i; int n = 0;
+for (i = 1; i <= 25; i = i + 1) { n = n + 1; } r = n; }""", None),
+    ("ne_exit", """
+int r; void main() { int i = 0; int n = 0;
+while (i != 12) { i = i + 1; n = n + 2; } r = n; }""", None),
+    ("doubling", """
+int r; void main() { int i = 1; int n = 0;
+while (i < 256) { i = i << 1; n = n + 1; } r = n; }""", None),
+    ("double_step", """
+int r; void main() { int i = 0; int n = 0;
+do { i = i + 1; i = i + 1; n = n + 1; } while (i < 30); r = n; }""",
+     None),
+    ("downward_ge", """
+int r; void main() { int i = 17; int n = 0;
+while (i >= 3) { n = n + i; i = i - 2; } r = n; }""", None),
+]
+
+
+def _measured_header_executions(program):
+    """Concrete executions of the most-executed branch-target address
+    (the loop header) from the simulator's instruction counts."""
+    execution = run_program(program)
+    return execution
+
+
+def test_e8_loop_bound_corpus(benchmark):
+    rows = []
+    bounded = exact = 0
+    for name, source, _ in PATTERNS:
+        program = compile_program(source)
+        graph = expand_task(build_cfg(program))
+        values = analyze_values(graph)
+        bounds = analyze_loop_bounds(values)
+        assert len(bounds) == 1, f"{name}: expected exactly one loop"
+        (bound,) = bounds.values()
+        header_addr = next(iter(bounds)).block
+        execution = run_program(program)
+        actual = execution.instruction_counts.get(header_addr, 0)
+        status = "unbounded"
+        if bound.is_bounded:
+            bounded += 1
+            assert bound.max_iterations >= actual, f"{name}: unsound"
+            if bound.max_iterations == actual:
+                exact += 1
+                status = "exact"
+            else:
+                status = f"+{bound.max_iterations - actual}"
+        rows.append([name, bound.method,
+                     bound.max_iterations if bound.is_bounded else "-",
+                     actual, status])
+    print_table(
+        "E8: loop bound analysis over the pattern corpus",
+        ["pattern", "method", "bound", "actual iterations", "verdict"],
+        rows)
+    print(f"bounded: {bounded}/{len(PATTERNS)}, "
+          f"exact: {exact}/{len(PATTERNS)}")
+    assert bounded == len(PATTERNS)
+    assert exact >= len(PATTERNS) - 1
+
+    benchmark.extra_info["bounded"] = bounded
+    benchmark.extra_info["exact"] = exact
+
+    program = compile_program(PATTERNS[0][1])
+    graph = expand_task(build_cfg(program))
+    values = analyze_values(graph)
+    benchmark(lambda: analyze_loop_bounds(values))

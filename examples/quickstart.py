@@ -1,0 +1,66 @@
+"""Quickstart: verify timing and stack bounds of a small task.
+
+Assembles a KRISC task, runs the full aiT-style analysis pipeline
+(CFG reconstruction -> value analysis -> loop bounds -> cache ->
+pipeline -> IPET), runs StackAnalyzer, and validates both bounds
+against concrete simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa import assemble
+from repro.report import wcet_report
+from repro.sim import run_program
+from repro.stack import analyze_stack
+from repro.wcet import analyze_wcet
+
+SOURCE = """
+; Compute sum of squares 1..N and store it, with a helper call.
+main:
+    MOVI R4, #1          ; i
+    MOVI R5, #0          ; acc
+loop:
+    MOV R0, R4
+    BL square
+    ADD R5, R5, R0
+    ADDI R4, R4, #1
+    CMPI R4, #20
+    BLE loop
+    LDA R1, result
+    STR R5, [R1]
+    HALT
+
+square:
+    PUSH {R4}
+    MOV R4, R0
+    MUL R0, R4, R4
+    POP {R4}
+    RET
+
+.data
+result: .word 0
+"""
+
+
+def main():
+    program = assemble(SOURCE)
+
+    # Static analysis: bounds valid for every run.
+    wcet = analyze_wcet(program)
+    stack = analyze_stack(program)
+
+    # Ground truth: one concrete run on the simulated hardware.
+    execution = run_program(program)
+
+    print(wcet_report(wcet, stack))
+    print(f"simulated run:   {execution.cycles} cycles, "
+          f"{execution.max_stack_usage} bytes of stack")
+    print(f"verified bounds: {wcet.wcet_cycles} cycles, "
+          f"{stack.bound} bytes of stack")
+    assert wcet.wcet_cycles >= execution.cycles
+    assert stack.bound >= execution.max_stack_usage
+    print("soundness check passed: bounds cover the observed run")
+
+
+if __name__ == "__main__":
+    main()

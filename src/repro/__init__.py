@@ -1,0 +1,34 @@
+"""repro: WCET and stack-usage verification by abstract interpretation.
+
+A from-scratch reproduction of the system described in Heckmann &
+Ferdinand, *Verifying Safety-Critical Timing and Memory-Usage Properties
+of Embedded Software by Abstract Interpretation* (DATE 2005): the aiT
+WCET analyzer pipeline (CFG reconstruction, value analysis, loop-bound
+analysis, cache analysis, pipeline analysis, ILP path analysis) and
+StackAnalyzer, targeting the KRISC embedded processor model.
+
+Quickstart::
+
+    from repro import assemble, analyze_wcet, analyze_stack
+
+    program = assemble(SOURCE)
+    result = analyze_wcet(program)
+    print(result.wcet_cycles)
+    print(analyze_stack(program).bound)
+"""
+
+__version__ = "1.0.0"
+
+from .isa import Instruction, Opcode, Program, assemble, disassemble
+from .lang import compile_program
+from .sim import run_program
+from .stack import analyze_stack, analyze_system_stack
+from .verify import verify_bounds
+from .wcet import analyze_wcet
+
+__all__ = [
+    "Instruction", "Opcode", "Program", "assemble", "disassemble",
+    "compile_program", "run_program", "analyze_stack",
+    "analyze_system_stack", "verify_bounds", "analyze_wcet",
+    "__version__",
+]

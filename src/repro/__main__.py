@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro``.
+
+Analyse a KRISC assembly file (``.s``) or mini-C file (``.c``) the way
+the aiT / StackAnalyzer command-line tools are driven:
+
+    python -m repro wcet task.s [--dot out.dot] [--loop-bound ADDR=N]
+    python -m repro stack task.c
+    python -m repro run task.c [--reg R0=5]
+    python -m repro disasm task.s
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .isa import assemble, disassemble
+from .isa.program import Program
+from .lang import compile_program
+from .report import wcet_dot, wcet_report, worst_case_path_table
+from .sim import run_program
+from .stack import analyze_stack
+from .wcet import analyze_wcet
+
+
+def _load_program(path: str) -> Program:
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".c"):
+        return compile_program(source)
+    return assemble(source)
+
+
+def _parse_assignments(items: List[str], what: str) -> Dict[str, int]:
+    values: Dict[str, int] = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"bad {what} {item!r}: expected KEY=VALUE")
+        key, _, raw = item.partition("=")
+        values[key.strip()] = int(raw, 0)
+    return values
+
+
+def cmd_wcet(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    manual = {int(k, 0): v for k, v in _parse_assignments(
+        args.loop_bound, "loop bound").items()}
+    ranges = None
+    if args.reg_range:
+        ranges = {}
+        for item in args.reg_range:
+            name, _, span = item.partition("=")
+            low, _, high = span.partition(":")
+            ranges[int(name.lstrip("Rr"), 0)] = (int(low, 0),
+                                                 int(high, 0))
+    result = analyze_wcet(program, manual_loop_bounds=manual,
+                          register_ranges=ranges)
+    stack = analyze_stack(program, register_ranges=ranges)
+    print(wcet_report(result, stack))
+    if args.path:
+        print(worst_case_path_table(result))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(wcet_dot(result))
+        print(f"annotated CFG written to {args.dot}")
+    return 0
+
+
+def cmd_stack(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    result = analyze_stack(program)
+    print(result.summary())
+    for name, usage in sorted(result.per_function.items()):
+        print(f"  {name}: {usage} bytes")
+    return 1 if result.overflows else 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    arguments = {int(k.lstrip("Rr")): v for k, v in _parse_assignments(
+        args.reg, "register").items()}
+    result = run_program(program, arguments=arguments,
+                         max_steps=args.max_steps)
+    print(f"halted after {result.steps} instructions, "
+          f"{result.cycles} cycles")
+    print(f"max stack usage: {result.max_stack_usage} bytes")
+    print(f"I-cache: {result.fetch_hits} hits / "
+          f"{result.fetch_misses} misses; "
+          f"D-cache: {result.data_hits} hits / "
+          f"{result.data_misses} misses")
+    for index in range(0, 16, 4):
+        cells = "  ".join(
+            f"R{i:<2}=0x{result.registers[i]:08x}"
+            for i in range(index, index + 4))
+        print(cells)
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    sys.stdout.write(disassemble(program))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WCET and stack-usage verification by abstract "
+                    "interpretation (DATE 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_wcet = sub.add_parser("wcet", help="verify worst-case timing")
+    p_wcet.add_argument("file")
+    p_wcet.add_argument("--dot", help="write annotated CFG (DOT)")
+    p_wcet.add_argument("--path", action="store_true",
+                        help="print the worst-case path table")
+    p_wcet.add_argument("--loop-bound", action="append", default=[],
+                        metavar="ADDR=N",
+                        help="manual bound for a loop header address")
+    p_wcet.add_argument("--reg-range", action="append", default=[],
+                        metavar="Rk=LO:HI",
+                        help="entry value range annotation")
+    p_wcet.set_defaults(func=cmd_wcet)
+
+    p_stack = sub.add_parser("stack", help="verify stack usage")
+    p_stack.add_argument("file")
+    p_stack.set_defaults(func=cmd_stack)
+
+    p_run = sub.add_parser("run", help="simulate one concrete run")
+    p_run.add_argument("file")
+    p_run.add_argument("--reg", action="append", default=[],
+                       metavar="Rk=V", help="initial register value")
+    p_run.add_argument("--max-steps", type=int, default=1_000_000)
+    p_run.set_defaults(func=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="disassemble a binary")
+    p_dis.add_argument("file")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

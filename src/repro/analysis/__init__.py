@@ -1,0 +1,33 @@
+"""Value analysis by abstract interpretation (phases 2-3 of aiT).
+
+Domains: constant propagation (:class:`Const`), intervals
+(:class:`Interval`), and a relational zone domain
+(:mod:`repro.analysis.zone`, optional).  The fixpoint engine, abstract
+transfer functions, whole-task value analysis, and loop-bound analysis
+live here.
+"""
+
+from .constprop import Const
+from .domain import AbstractValue, INT_MAX, INT_MIN, to_signed, to_unsigned
+from .interval import Interval
+from .strided import StridedInterval
+from .zone import Zone
+from .loopbounds import (LoopBound, LoopBoundAnalysis, analyze_loop_bounds)
+from .solver import FixpointResult, FixpointSolver, collect_thresholds
+from .state import AbstractMemory, AbstractState, FlagsInfo
+from .transfer import (evaluate_condition, refine_by_condition,
+                       transfer_block, transfer_instruction)
+from .valueanalysis import (MemoryAccess, PrecisionStats,
+                            ValueAnalysisResult, analyze_values)
+
+__all__ = [
+    "Const", "AbstractValue", "INT_MAX", "INT_MIN", "to_signed",
+    "to_unsigned", "Interval", "StridedInterval", "Zone",
+    "LoopBound", "LoopBoundAnalysis", "analyze_loop_bounds",
+    "FixpointResult", "FixpointSolver", "collect_thresholds",
+    "AbstractMemory", "AbstractState", "FlagsInfo",
+    "evaluate_condition", "refine_by_condition", "transfer_block",
+    "transfer_instruction",
+    "MemoryAccess", "PrecisionStats", "ValueAnalysisResult",
+    "analyze_values",
+]

@@ -1,0 +1,172 @@
+"""Constant propagation: the simplest value-analysis variant named in
+the paper — "an abstract value is either a single concrete value or the
+statement that no information about the value is known" (Section 1).
+
+It exists both as a baseline for the precision ablation (D2) and as a
+cheap analysis for quick queries.  All arithmetic follows the concrete
+wrapping semantics exactly, since operands are known precisely or not
+at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .domain import AbstractValue, INT_MAX, INT_MIN, to_signed
+
+_TOP = object()
+_BOTTOM = object()
+
+
+class Const(AbstractValue):
+    """Flat lattice: bottom < {every constant} < top."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    @classmethod
+    def top(cls) -> "Const":
+        return _TOP_VALUE
+
+    @classmethod
+    def bottom(cls) -> "Const":
+        return _BOTTOM_VALUE
+
+    @classmethod
+    def const(cls, value: int) -> "Const":
+        return cls(to_signed(value))
+
+    def is_top(self) -> bool:
+        return self._value is _TOP
+
+    def is_bottom(self) -> bool:
+        return self._value is _BOTTOM
+
+    def join(self, other: "Const") -> "Const":
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        if not self.is_top() and not other.is_top() \
+                and self._value == other._value:
+            return self
+        return _TOP_VALUE
+
+    def meet(self, other: "Const") -> "Const":
+        if self.is_top():
+            return other
+        if other.is_top():
+            return self
+        if not self.is_bottom() and not other.is_bottom() \
+                and self._value == other._value:
+            return self
+        return _BOTTOM_VALUE
+
+    def widen(self, other: "Const",
+              thresholds: Sequence[int] = ()) -> "Const":
+        # The flat lattice has finite height; join is a valid widening.
+        return self.join(other)
+
+    def leq(self, other: "Const") -> bool:
+        if self.is_bottom() or other.is_top():
+            return True
+        if other.is_bottom() or self.is_top():
+            return False
+        return self._value == other._value
+
+    def contains(self, value: int) -> bool:
+        if self.is_top():
+            return True
+        if self.is_bottom():
+            return False
+        return self._value == to_signed(value)
+
+    def as_constant(self) -> Optional[int]:
+        if self.is_top() or self.is_bottom():
+            return None
+        return self._value
+
+    def signed_bounds(self) -> Tuple[int, int]:
+        constant = self.as_constant()
+        if constant is not None:
+            return (constant, constant)
+        return (INT_MIN, INT_MAX)
+
+    # -- Arithmetic ----------------------------------------------------------
+
+    def _binop(self, other: "Const", op) -> "Const":
+        if self.is_bottom() or other.is_bottom():
+            return _BOTTOM_VALUE
+        if self.is_top() or other.is_top():
+            return _TOP_VALUE
+        return Const(to_signed(op(self._value, other._value)))
+
+    def add(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a + b)
+
+    def sub(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a - b)
+
+    def mul(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a * b)
+
+    def bitand(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a & b)
+
+    def bitor(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a | b)
+
+    def bitxor(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a ^ b)
+
+    def shl(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a << (b & 31))
+
+    def shr(self, other: "Const") -> "Const":
+        return self._binop(
+            other, lambda a, b: (a & 0xFFFFFFFF) >> (b & 31))
+
+    def asr(self, other: "Const") -> "Const":
+        return self._binop(other, lambda a, b: a >> (b & 31))
+
+    # -- Comparisons -----------------------------------------------------------
+
+    def refine_signed(self, op: str, other: "Const") -> "Const":
+        if op == "==" and not self.is_bottom():
+            return self.meet(other)
+        if op == "!=" and self.as_constant() is not None \
+                and self.as_constant() == other.as_constant():
+            return _BOTTOM_VALUE
+        return self
+
+    def compare_signed(self, op: str, other: "Const") -> Optional[bool]:
+        a, b = self.as_constant(), other.as_constant()
+        if a is None or b is None:
+            return None
+        return {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b,
+                "==": a == b, "!=": a != b}[op]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self._value == other._value \
+            if not (self.is_top() or self.is_bottom()) \
+            else (isinstance(other, Const) and self._value is other._value)
+
+    def __hash__(self) -> int:
+        if self.is_top():
+            return hash((Const, "top"))
+        if self.is_bottom():
+            return hash((Const, "bottom"))
+        return hash((Const, self._value))
+
+    def __repr__(self) -> str:
+        if self.is_top():
+            return "⊤"
+        if self.is_bottom():
+            return "⊥"
+        return f"{{{self._value}}}"
+
+
+_TOP_VALUE = Const(_TOP)
+_BOTTOM_VALUE = Const(_BOTTOM)

@@ -1,0 +1,282 @@
+"""Zone domain: difference-bound matrices over the register file.
+
+The top tier of the paper's value-analysis hierarchy (Section 1):
+"upper and lower bounds for their differences, or even more generally,
+arbitrary linear constraints between values".  A zone tracks
+constraints of the form ``x - y <= c`` between registers (plus a
+virtual zero register, which encodes plain bounds), closed under
+shortest paths (Floyd-Warshall).
+
+The per-register analyses use the lightweight difference-alias
+mechanism of :mod:`repro.analysis.state`; this module provides the full
+relational domain for clients that need it (e.g. bounding a loop whose
+exit test compares two moving registers), with the same soundness
+test discipline as the other domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+INF = float("inf")
+
+#: Index of the virtual zero variable.
+ZERO = 0
+
+
+class Zone:
+    """A difference-bound matrix over ``n`` variables plus zero.
+
+    ``m[i][j] = c`` encodes ``v_i - v_j <= c`` (with ``v_0 == 0``), so
+    ``m[i][0]`` is an upper bound on ``v_i`` and ``m[0][i]`` a negated
+    lower bound.  Matrices are kept closed; an inconsistent system is
+    *bottom*.
+    """
+
+    __slots__ = ("size", "m", "_bottom")
+
+    def __init__(self, num_variables: int,
+                 matrix: Optional[List[List[float]]] = None,
+                 bottom: bool = False):
+        self.size = num_variables + 1
+        if matrix is None:
+            matrix = [[INF] * self.size for _ in range(self.size)]
+            for i in range(self.size):
+                matrix[i][i] = 0.0
+        self.m = matrix
+        self._bottom = bottom
+
+    # -- Construction -------------------------------------------------------
+
+    @classmethod
+    def top(cls, num_variables: int) -> "Zone":
+        return cls(num_variables)
+
+    @classmethod
+    def bottom(cls, num_variables: int) -> "Zone":
+        return cls(num_variables, bottom=True)
+
+    def copy(self) -> "Zone":
+        return Zone(self.size - 1, [row[:] for row in self.m],
+                    self._bottom)
+
+    def is_bottom(self) -> bool:
+        return self._bottom
+
+    def is_top(self) -> bool:
+        if self._bottom:
+            return False
+        return all(self.m[i][j] == INF
+                   for i in range(self.size)
+                   for j in range(self.size) if i != j)
+
+    # -- Constraints --------------------------------------------------------------
+
+    def _check_var(self, var: int) -> int:
+        index = var + 1
+        if not 1 <= index < self.size:
+            raise IndexError(f"variable {var} out of range")
+        return index
+
+    def add_difference(self, x: int, y: int, c: float) -> "Zone":
+        """Conjoin ``v_x - v_y <= c`` and re-close."""
+        if self._bottom:
+            return self
+        i, j = self._check_var(x), self._check_var(y)
+        return self._with_constraint(i, j, c)
+
+    def add_upper(self, x: int, c: float) -> "Zone":
+        """Conjoin ``v_x <= c``."""
+        if self._bottom:
+            return self
+        return self._with_constraint(self._check_var(x), ZERO, c)
+
+    def add_lower(self, x: int, c: float) -> "Zone":
+        """Conjoin ``v_x >= c``."""
+        if self._bottom:
+            return self
+        return self._with_constraint(ZERO, self._check_var(x), -c)
+
+    def _with_constraint(self, i: int, j: int, c: float) -> "Zone":
+        result = self.copy()
+        if c < result.m[i][j]:
+            result.m[i][j] = c
+            result._close_incremental(i, j)
+        if any(result.m[k][k] < 0 for k in range(result.size)):
+            return Zone.bottom(self.size - 1)
+        return result
+
+    def _close_incremental(self, a: int, b: int) -> None:
+        m = self.m
+        for i in range(self.size):
+            if m[i][a] == INF:
+                continue
+            for j in range(self.size):
+                candidate = m[i][a] + m[a][b] + m[b][j]
+                if candidate < m[i][j]:
+                    m[i][j] = candidate
+
+    def close(self) -> "Zone":
+        """Full Floyd-Warshall closure (mainly for tests)."""
+        if self._bottom:
+            return self
+        result = self.copy()
+        m = result.m
+        for k in range(self.size):
+            for i in range(self.size):
+                if m[i][k] == INF:
+                    continue
+                for j in range(self.size):
+                    candidate = m[i][k] + m[k][j]
+                    if candidate < m[i][j]:
+                        m[i][j] = candidate
+        if any(m[i][i] < 0 for i in range(result.size)):
+            return Zone.bottom(self.size - 1)
+        return result
+
+    # -- Assignment transfer --------------------------------------------------------
+
+    def forget(self, x: int) -> "Zone":
+        """Havoc variable ``x`` (non-deterministic assignment)."""
+        if self._bottom:
+            return self
+        i = self._check_var(x)
+        result = self.copy()
+        for k in range(self.size):
+            if k != i:
+                result.m[i][k] = INF
+                result.m[k][i] = INF
+        return result
+
+    def assign_constant(self, x: int, c: float) -> "Zone":
+        """``v_x := c``."""
+        zone = self.forget(x)
+        if zone._bottom:
+            return zone
+        i = zone._check_var(x)
+        zone.m[i][ZERO] = c
+        zone.m[ZERO][i] = -c
+        return zone.close()
+
+    def assign_sum(self, x: int, y: int, c: float) -> "Zone":
+        """``v_x := v_y + c`` for distinct ``x != y``."""
+        if self._bottom:
+            return self
+        if x == y:
+            return self.shift(x, c)
+        zone = self.forget(x)
+        i, j = zone._check_var(x), zone._check_var(y)
+        zone.m[i][j] = c
+        zone.m[j][i] = -c
+        return zone.close()
+
+    def shift(self, x: int, c: float) -> "Zone":
+        """``v_x := v_x + c``."""
+        if self._bottom:
+            return self
+        i = self._check_var(x)
+        result = self.copy()
+        for k in range(self.size):
+            if k != i:
+                if result.m[i][k] != INF:
+                    result.m[i][k] += c
+                if result.m[k][i] != INF:
+                    result.m[k][i] -= c
+        return result
+
+    # -- Queries --------------------------------------------------------------------
+
+    def bounds(self, x: int) -> Tuple[float, float]:
+        """(lower, upper) bounds of ``v_x`` (may be infinite)."""
+        if self._bottom:
+            raise ValueError("bounds of bottom zone")
+        i = self._check_var(x)
+        upper = self.m[i][ZERO]
+        lower = -self.m[ZERO][i]
+        return (lower if lower != -INF else -INF,
+                upper if upper != INF else INF)
+
+    def difference_bounds(self, x: int, y: int) -> Tuple[float, float]:
+        """Bounds on ``v_x - v_y``."""
+        if self._bottom:
+            raise ValueError("bounds of bottom zone")
+        i, j = self._check_var(x), self._check_var(y)
+        return (-self.m[j][i] if self.m[j][i] != INF else -INF,
+                self.m[i][j])
+
+    def satisfies(self, values: Sequence[float]) -> bool:
+        """Does a concrete valuation lie in the zone?"""
+        if self._bottom:
+            return False
+        padded = [0.0] + list(values)
+        for i in range(self.size):
+            for j in range(self.size):
+                if self.m[i][j] != INF \
+                        and padded[i] - padded[j] > self.m[i][j] + 1e-9:
+                    return False
+        return True
+
+    # -- Lattice ------------------------------------------------------------------------
+
+    def join(self, other: "Zone") -> "Zone":
+        if self._bottom:
+            return other.copy()
+        if other._bottom:
+            return self.copy()
+        result = Zone(self.size - 1)
+        for i in range(self.size):
+            for j in range(self.size):
+                result.m[i][j] = max(self.m[i][j], other.m[i][j])
+        return result
+
+    def meet(self, other: "Zone") -> "Zone":
+        if self._bottom or other._bottom:
+            return Zone.bottom(self.size - 1)
+        result = Zone(self.size - 1)
+        for i in range(self.size):
+            for j in range(self.size):
+                result.m[i][j] = min(self.m[i][j], other.m[i][j])
+        return result.close()
+
+    def widen(self, other: "Zone") -> "Zone":
+        """Standard DBM widening: drop constraints the new state does
+        not satisfy at least as tightly."""
+        if self._bottom:
+            return other.copy()
+        if other._bottom:
+            return self.copy()
+        result = Zone(self.size - 1)
+        for i in range(self.size):
+            for j in range(self.size):
+                result.m[i][j] = self.m[i][j] \
+                    if other.m[i][j] <= self.m[i][j] else INF
+        return result
+
+    def leq(self, other: "Zone") -> bool:
+        if self._bottom:
+            return True
+        if other._bottom:
+            return False
+        closed = self.close()
+        if closed._bottom:
+            return True
+        return all(closed.m[i][j] <= other.m[i][j]
+                   for i in range(self.size)
+                   for j in range(self.size))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Zone):
+            return NotImplemented
+        if self._bottom or other._bottom:
+            return self._bottom == other._bottom
+        return self.close().m == other.close().m
+
+    def __repr__(self) -> str:
+        if self._bottom:
+            return "Zone(⊥)"
+        parts = []
+        for i in range(1, self.size):
+            lower, upper = self.bounds(i - 1)
+            if lower != -INF or upper != INF:
+                parts.append(f"v{i - 1}∈[{lower}, {upper}]")
+        return f"Zone({', '.join(parts) or '⊤'})"

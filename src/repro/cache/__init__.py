@@ -1,0 +1,19 @@
+"""Cache modelling: concrete LRU hardware model and the must/may/
+persistence abstract interpretation (phase 4 of the aiT pipeline)."""
+
+from .abstract import (Classification, MayCache, MustCache,
+                       PersistenceCache, TripleCacheState)
+from .analysis import (AccessSpec, CacheFixpoint, ClassificationStats,
+                       ClassifiedAccess, DCacheResult, ICacheResult,
+                       analyze_dcache, analyze_icache)
+from .config import CacheConfig, MachineConfig
+from .lru import LRUCache
+
+__all__ = [
+    "Classification", "MayCache", "MustCache", "PersistenceCache",
+    "TripleCacheState",
+    "AccessSpec", "CacheFixpoint", "ClassificationStats",
+    "ClassifiedAccess", "DCacheResult", "ICacheResult",
+    "analyze_dcache", "analyze_icache",
+    "CacheConfig", "MachineConfig", "LRUCache",
+]

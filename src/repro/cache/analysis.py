@@ -1,0 +1,250 @@
+"""CFG-level cache analysis (phase 4 of the aiT pipeline).
+
+Runs the must/may/persistence abstract caches to a fixpoint over the
+whole-task graph and classifies every instruction fetch (I-cache) and
+every data access (D-cache) as always-hit, always-miss, persistent, or
+not-classified.  Data-access address sets come from value analysis —
+"the results of value analysis are used to determine possible addresses
+of indirect memory accesses — important for cache analysis" (Section 3,
+ablation D4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfg.expand import NodeId, TaskGraph
+from ..isa.instructions import Instruction
+from .abstract import Classification, TripleCacheState
+from .config import CacheConfig
+from ..analysis.valueanalysis import MemoryAccess, ValueAnalysisResult
+
+#: An access covering more than this many candidate lines is treated as
+#: having an unknown address.
+MAX_CANDIDATE_LINES = 256
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One abstract cache access: candidate lines, or unknown address."""
+
+    lines: Optional[Tuple[int, ...]]    # None = completely unknown
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.lines is None
+
+
+@dataclass
+class ClassificationStats:
+    """Counts per classification outcome (experiment E3)."""
+
+    always_hit: int = 0
+    always_miss: int = 0
+    persistent: int = 0
+    not_classified: int = 0
+
+    def record(self, outcome: Classification) -> None:
+        if outcome is Classification.ALWAYS_HIT:
+            self.always_hit += 1
+        elif outcome is Classification.ALWAYS_MISS:
+            self.always_miss += 1
+        elif outcome is Classification.PERSISTENT:
+            self.persistent += 1
+        else:
+            self.not_classified += 1
+
+    @property
+    def total(self) -> int:
+        return (self.always_hit + self.always_miss + self.persistent
+                + self.not_classified)
+
+    def ratio(self, outcome: Classification) -> float:
+        if not self.total:
+            return 0.0
+        return {
+            Classification.ALWAYS_HIT: self.always_hit,
+            Classification.ALWAYS_MISS: self.always_miss,
+            Classification.PERSISTENT: self.persistent,
+            Classification.NOT_CLASSIFIED: self.not_classified,
+        }[outcome] / self.total
+
+
+class CacheFixpoint:
+    """Generic must/may/persistence fixpoint over the task graph."""
+
+    def __init__(self, graph: TaskGraph, config: CacheConfig,
+                 accesses_of: Dict[NodeId, List[AccessSpec]]):
+        self.graph = graph
+        self.config = config
+        self.accesses_of = accesses_of
+
+    def solve(self) -> Dict[NodeId, TripleCacheState]:
+        """Entry cache state per node, starting from a cold cache."""
+        graph = self.graph
+        states: Dict[NodeId, TripleCacheState] = {
+            graph.entry: TripleCacheState(self.config)}
+        worklist = deque([graph.entry])
+        queued = {graph.entry}
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node)
+            out_state = self.transfer(states[node].copy(), node)
+            for edge in graph.successors(node):
+                target = edge.target
+                old = states.get(target)
+                new = out_state if old is None else old.join(out_state)
+                if old is None or not new.leq(old):
+                    states[target] = new.copy() if old is None else new
+                    if target not in queued:
+                        worklist.append(target)
+                        queued.add(target)
+        return states
+
+    def transfer(self, state: TripleCacheState,
+                 node: NodeId) -> TripleCacheState:
+        for spec in self.accesses_of.get(node, []):
+            if spec.is_unknown:
+                state.access_unknown()
+            else:
+                state.access_range(list(spec.lines))
+        return state
+
+    def classify_all(self, entry_states: Dict[NodeId, TripleCacheState]
+                     ) -> Dict[NodeId, List[Classification]]:
+        """Classification of every access, walking each block from its
+        fixpoint entry state."""
+        result: Dict[NodeId, List[Classification]] = {}
+        for node, specs in self.accesses_of.items():
+            state = entry_states.get(node)
+            if state is None:
+                continue
+            state = state.copy()
+            outcomes = []
+            for spec in specs:
+                if spec.is_unknown:
+                    outcomes.append(Classification.NOT_CLASSIFIED)
+                    state.access_unknown()
+                else:
+                    lines = list(spec.lines)
+                    outcomes.append(state.classify_range(lines))
+                    state.access_range(lines)
+            result[node] = outcomes
+        return result
+
+
+# -- Instruction cache ----------------------------------------------------------
+
+
+@dataclass
+class ICacheResult:
+    """Per-instruction fetch classifications."""
+
+    config: CacheConfig
+    classifications: Dict[NodeId, List[Classification]]
+    stats: ClassificationStats
+
+    def for_node(self, node: NodeId) -> List[Classification]:
+        return self.classifications.get(node, [])
+
+
+def analyze_icache(graph: TaskGraph, config: CacheConfig) -> ICacheResult:
+    """Classify every instruction fetch of the task."""
+    accesses: Dict[NodeId, List[AccessSpec]] = {}
+    for node in graph.nodes():
+        specs = [AccessSpec((config.line_of(instr.address),))
+                 for instr in graph.blocks[node]]
+        accesses[node] = specs
+    fixpoint = CacheFixpoint(graph, config, accesses)
+    classifications = fixpoint.classify_all(fixpoint.solve())
+    stats = ClassificationStats()
+    for outcomes in classifications.values():
+        for outcome in outcomes:
+            stats.record(outcome)
+    return ICacheResult(config, classifications, stats)
+
+
+# -- Data cache ----------------------------------------------------------------------
+
+
+@dataclass
+class ClassifiedAccess:
+    """A data access paired with its classification."""
+
+    access: MemoryAccess
+    classification: Classification
+
+
+@dataclass
+class DCacheResult:
+    """Per-node classified data accesses."""
+
+    config: CacheConfig
+    classified: Dict[NodeId, List[ClassifiedAccess]]
+    stats: ClassificationStats
+
+    def for_node(self, node: NodeId) -> List[ClassifiedAccess]:
+        return self.classified.get(node, [])
+
+    def all_accesses(self) -> List[ClassifiedAccess]:
+        return [item for items in self.classified.values()
+                for item in items]
+
+
+def _lines_of_access(access: MemoryAccess,
+                     config: CacheConfig) -> AccessSpec:
+    constant = access.address.as_constant()
+    if constant is not None:
+        return AccessSpec((config.line_of(constant),))
+    if access.address.is_top():
+        return AccessSpec(None)
+    # Congruence-aware domains (strided intervals) expose the sparse
+    # value set, which can skip whole lines for wide-stride accesses.
+    values = access.address.possible_values(4 * MAX_CANDIDATE_LINES)
+    if values is not None:
+        lines = tuple(sorted({config.line_of(v) for v in values}))
+        if 0 < len(lines) <= MAX_CANDIDATE_LINES:
+            return AccessSpec(lines)
+    lo, hi = access.byte_range
+    first, last = config.line_of(lo), config.line_of(hi)
+    if last - first + 1 > MAX_CANDIDATE_LINES:
+        return AccessSpec(None)
+    return AccessSpec(tuple(range(first, last + 1)))
+
+
+def analyze_dcache(graph: TaskGraph, config: CacheConfig,
+                   values: ValueAnalysisResult,
+                   use_value_analysis: bool = True) -> DCacheResult:
+    """Classify every data access of the task.
+
+    ``use_value_analysis=False`` is the D4 ablation: every access is
+    treated as having an unknown address, as a tool without value
+    analysis would have to.
+    """
+    by_node: Dict[NodeId, List[MemoryAccess]] = {}
+    for access in values.accesses:
+        by_node.setdefault(access.node, []).append(access)
+
+    specs: Dict[NodeId, List[AccessSpec]] = {}
+    for node, node_accesses in by_node.items():
+        if use_value_analysis:
+            specs[node] = [_lines_of_access(a, config)
+                           for a in node_accesses]
+        else:
+            specs[node] = [AccessSpec(None) for _ in node_accesses]
+
+    fixpoint = CacheFixpoint(graph, config, specs)
+    classifications = fixpoint.classify_all(fixpoint.solve())
+
+    classified: Dict[NodeId, List[ClassifiedAccess]] = {}
+    stats = ClassificationStats()
+    for node, node_accesses in by_node.items():
+        outcomes = classifications.get(node, [])
+        items = []
+        for access, outcome in zip(node_accesses, outcomes):
+            items.append(ClassifiedAccess(access, outcome))
+            stats.record(outcome)
+        classified[node] = items
+    return DCacheResult(config, classified, stats)

@@ -1,0 +1,110 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+Works on any directed graph given as adjacency dictionaries, so it
+serves both per-function CFGs and the whole-task expanded graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def _postorder(entry: Node, succs: Dict[Node, List[Node]]) -> List[Node]:
+    order: List[Node] = []
+    visited: Set[Node] = {entry}
+    stack = [(entry, iter(succs.get(entry, [])))]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succs.get(succ, []))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    return order
+
+
+def compute_dominators(entry: Node,
+                       succs: Dict[Node, List[Node]]) -> Dict[Node, Node]:
+    """Immediate dominators of all nodes reachable from ``entry``.
+
+    Returns a map ``node -> idom(node)``; the entry maps to itself.
+    Unreachable nodes are absent.
+    """
+    order = _postorder(entry, succs)
+    index = {node: i for i, node in enumerate(order)}
+    reverse_postorder = list(reversed(order))
+
+    preds: Dict[Node, List[Node]] = {node: [] for node in order}
+    for node in order:
+        for succ in succs.get(node, []):
+            if succ in preds:
+                preds[succ].append(node)
+
+    idom: Dict[Node, Optional[Node]] = {node: None for node in order}
+    idom[entry] = entry
+
+    def intersect(a: Node, b: Node) -> Node:
+        while a != b:
+            while index[a] < index[b]:
+                a = idom[a]
+            while index[b] < index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in reverse_postorder:
+            if node == entry:
+                continue
+            candidates = [p for p in preds[node] if idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(other, new_idom)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    return {node: dom for node, dom in idom.items() if dom is not None}
+
+
+def dominates(idom: Dict[Node, Node], a: Node, b: Node) -> bool:
+    """True if ``a`` dominates ``b`` under the immediate-dominator map."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def dominance_frontier(entry: Node, succs: Dict[Node, List[Node]]
+                       ) -> Dict[Node, Set[Node]]:
+    """Dominance frontiers (Cytron et al.), occasionally useful for
+    path-analysis refinements and exercised by tests."""
+    idom = compute_dominators(entry, succs)
+    frontier: Dict[Node, Set[Node]] = {node: set() for node in idom}
+    preds: Dict[Node, List[Node]] = {node: [] for node in idom}
+    for node in idom:
+        for succ in succs.get(node, []):
+            if succ in preds:
+                preds[succ].append(node)
+    for node in idom:
+        if len(preds[node]) >= 2:
+            for pred in preds[node]:
+                runner = pred
+                while runner != idom[node]:
+                    frontier[runner].add(node)
+                    runner = idom[runner]
+    return frontier

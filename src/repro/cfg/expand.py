@@ -1,0 +1,209 @@
+"""Whole-task context expansion ("virtual inlining").
+
+aiT analyses each task interprocedurally by distinguishing *call
+contexts*: the same function body is analysed once per chain of call
+sites leading to it.  We realise this by expanding the per-function CFGs
+into a single :class:`TaskGraph` whose nodes are ``(context, block)``
+pairs, where a context is the tuple of call-site addresses on the
+abstract call stack.
+
+On the expanded graph every later phase — value analysis, cache
+analysis, pipeline analysis, and IPET — becomes a plain fixpoint /
+linear program over one graph, with call and return edges as ordinary
+(but specially tagged) edges.  Recursion is rejected up front, which
+keeps the expansion finite (the standard restriction for WCET tools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..isa.instructions import Cond, Opcode
+from .builder import BinaryCFG
+from .graph import BasicBlock, EdgeKind
+
+#: A call context: addresses of the call sites on the abstract stack.
+Context = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """Identity of a task-graph node: a basic block in a call context."""
+
+    context: Context
+    block: int
+
+    def __repr__(self) -> str:
+        chain = "/".join(f"{site:x}" for site in self.context)
+        return f"<{chain or 'root'}:0x{self.block:x}>"
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """A directed edge of the expanded task graph."""
+
+    source: NodeId
+    target: NodeId
+    kind: EdgeKind
+    cond: Optional[Cond] = None
+
+
+class TaskGraph:
+    """The context-expanded whole-task control-flow graph."""
+
+    def __init__(self, binary: BinaryCFG):
+        self.binary = binary
+        self.blocks: Dict[NodeId, BasicBlock] = {}
+        self.function_of: Dict[NodeId, int] = {}
+        self._succs: Dict[NodeId, List[TaskEdge]] = {}
+        self._preds: Dict[NodeId, List[TaskEdge]] = {}
+        self.entry: Optional[NodeId] = None
+
+    # -- Construction -------------------------------------------------------
+
+    def _add_node(self, node: NodeId, block: BasicBlock,
+                  function: int) -> None:
+        self.blocks[node] = block
+        self.function_of[node] = function
+        self._succs.setdefault(node, [])
+        self._preds.setdefault(node, [])
+
+    def _add_edge(self, edge: TaskEdge) -> None:
+        self._succs[edge.source].append(edge)
+        self._preds[edge.target].append(edge)
+
+    # -- Queries -------------------------------------------------------------
+
+    def successors(self, node: NodeId) -> List[TaskEdge]:
+        return self._succs[node]
+
+    def predecessors(self, node: NodeId) -> List[TaskEdge]:
+        return self._preds[node]
+
+    def nodes(self) -> List[NodeId]:
+        return list(self.blocks)
+
+    def exit_nodes(self) -> List[NodeId]:
+        """Nodes with no successors (task end: HALT, or final RET)."""
+        return [node for node, edges in self._succs.items() if not edges]
+
+    def adjacency(self) -> Dict[NodeId, List[NodeId]]:
+        """Successor map in plain-node form (for dominators/loops)."""
+        return {node: [e.target for e in edges]
+                for node, edges in self._succs.items()}
+
+    def function_name(self, node: NodeId) -> str:
+        return self.binary.functions[self.function_of[node]].name
+
+    def contexts(self) -> Set[Context]:
+        return {node.context for node in self.blocks}
+
+    def node_count(self) -> int:
+        return len(self.blocks)
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._succs.values())
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    def topological_order(self) -> List[NodeId]:
+        """Reverse postorder from the entry (a topological order of the
+        acyclic condensation; loop headers precede their bodies)."""
+        visited: Set[NodeId] = {self.entry}
+        order: List[NodeId] = []
+        stack = [(self.entry, iter(self._succs[self.entry]))]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for edge in it:
+                if edge.target not in visited:
+                    visited.add(edge.target)
+                    stack.append(
+                        (edge.target, iter(self._succs[edge.target])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        return list(reversed(order))
+
+    def __repr__(self) -> str:
+        return (f"TaskGraph({self.node_count()} nodes, "
+                f"{self.edge_count()} edges, "
+                f"{len(self.contexts())} contexts)")
+
+
+class ExpansionError(ValueError):
+    """The task cannot be context-expanded (e.g. recursion)."""
+
+
+def expand_task(binary: BinaryCFG, max_contexts: int = 100_000) -> TaskGraph:
+    """Virtually inline all calls, producing the whole-task graph.
+
+    ``max_contexts`` guards against pathological call-site explosion.
+    """
+    # Recursion check (raises RecursionError with the offending cycle).
+    binary.call_graph.topological_order(binary.entry)
+
+    graph = TaskGraph(binary)
+    root_ctx: Context = ()
+    worklist: List[Tuple[Context, int]] = [(root_ctx, binary.entry)]
+    instantiated: Set[Tuple[Context, int]] = set()
+
+    while worklist:
+        context, func_entry = worklist.pop()
+        if (context, func_entry) in instantiated:
+            continue
+        instantiated.add((context, func_entry))
+        if len(instantiated) > max_contexts:
+            raise ExpansionError(
+                f"context expansion exceeds {max_contexts} instances")
+        function = binary.functions[func_entry]
+        for block in function.blocks.values():
+            graph._add_node(NodeId(context, block.start), block, func_entry)
+        for block in function.blocks.values():
+            source = NodeId(context, block.start)
+            if block.is_call_block:
+                site = block.last.address
+                callee_context = context + (site,)
+                return_site = site + 4
+                for callee in _call_targets(binary, func_entry, site):
+                    worklist.append((callee_context, callee))
+                # Call/return edges are added in a second pass, once the
+                # callee instance surely exists.
+            else:
+                for edge in function.successors(block.start):
+                    graph._add_edge(TaskEdge(
+                        source, NodeId(context, edge.target), edge.kind,
+                        edge.cond))
+
+    # Second pass: connect call and return edges.
+    for (context, func_entry) in instantiated:
+        function = binary.functions[func_entry]
+        for block in function.call_sites():
+            site = block.last.address
+            source = NodeId(context, block.start)
+            callee_context = context + (site,)
+            return_site = site + 4
+            for callee in _call_targets(binary, func_entry, site):
+                callee_cfg = binary.functions[callee]
+                graph._add_edge(TaskEdge(
+                    source, NodeId(callee_context, callee_cfg.entry),
+                    EdgeKind.CALL))
+                for exit_block in callee_cfg.exit_blocks():
+                    if exit_block.last.opcode is Opcode.HALT:
+                        continue
+                    graph._add_edge(TaskEdge(
+                        NodeId(callee_context, exit_block.start),
+                        NodeId(context, return_site), EdgeKind.RETURN))
+
+    graph.entry = NodeId(root_ctx, binary.functions[binary.entry].entry)
+    return graph
+
+
+def _call_targets(binary: BinaryCFG, caller: int, site: int) -> List[int]:
+    return [callee for call_site, callee
+            in binary.call_graph.calls.get(caller, [])
+            if call_site == site]

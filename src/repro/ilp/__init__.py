@@ -1,0 +1,12 @@
+"""Linear and integer programming substrate for path analysis."""
+
+from .branchbound import BranchStats, solve_ilp
+from .model import (Constraint, InfeasibleError, LinearProgram, Sense,
+                    Solution, UnboundedError, Variable)
+from .simplex import solve_lp
+
+__all__ = [
+    "BranchStats", "solve_ilp", "Constraint", "InfeasibleError",
+    "LinearProgram", "Sense", "Solution", "UnboundedError", "Variable",
+    "solve_lp",
+]

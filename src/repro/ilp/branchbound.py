@@ -1,0 +1,99 @@
+"""Branch-and-bound integer programming on top of the simplex.
+
+IPET relaxations are network-flow-like and usually integral; when they
+are not, branch and bound recovers the exact integer optimum.  Because
+IPET *maximises*, any LP relaxation value is itself a sound WCET bound,
+so the solver can also be used in relaxation-only mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .model import LinearProgram, Sense, Solution
+from .simplex import solve_lp
+
+_INT_TOLERANCE = 1e-6
+
+
+@dataclass
+class BranchStats:
+    """Search statistics for diagnostics."""
+
+    nodes_explored: int = 0
+    depth_reached: int = 0
+
+
+def solve_ilp(program: LinearProgram, max_nodes: int = 10_000
+              ) -> Tuple[Solution, BranchStats]:
+    """Maximise ``program`` with integrality on its integer variables.
+
+    Depth-first branch and bound with best-bound pruning.  Raises
+    ``RuntimeError`` if the node budget is exhausted (callers can then
+    fall back to the relaxation bound, which is sound for WCET).
+    """
+    stats = BranchStats()
+    root = solve_lp(program)
+    if not root.is_optimal:
+        return root, stats
+    incumbent: Optional[Solution] = None
+    # Each stack entry: list of extra bound constraints (var, sense, rhs).
+    stack: List[List[Tuple[int, Sense, float]]] = [[]]
+    while stack:
+        extra = stack.pop()
+        stats.nodes_explored += 1
+        stats.depth_reached = max(stats.depth_reached, len(extra))
+        if stats.nodes_explored > max_nodes:
+            raise RuntimeError("branch-and-bound node budget exhausted")
+        relaxed = _solve_with_extra(program, extra)
+        if not relaxed.is_optimal:
+            continue
+        if incumbent is not None and \
+                relaxed.objective <= incumbent.objective + 1e-9:
+            continue   # cannot beat the incumbent
+        fractional = _most_fractional(program, relaxed)
+        if fractional is None:
+            rounded = Solution(
+                "optimal", relaxed.objective,
+                {k: round(v) if program.variables[k].is_integer else v
+                 for k, v in relaxed.values.items()})
+            incumbent = rounded
+            continue
+        index, value = fractional
+        stack.append(extra + [(index, Sense.GE, math.ceil(value))])
+        stack.append(extra + [(index, Sense.LE, math.floor(value))])
+    if incumbent is None:
+        return Solution("infeasible"), stats
+    return incumbent, stats
+
+
+def _solve_with_extra(program: LinearProgram,
+                      extra: List[Tuple[int, Sense, float]]) -> Solution:
+    if not extra:
+        return solve_lp(program)
+    from .model import Constraint
+    clone = LinearProgram(program.name)
+    clone.variables = program.variables
+    clone.objective = program.objective
+    clone._by_name = program._by_name
+    clone.constraints = list(program.constraints) + [
+        Constraint({index: 1.0}, sense, rhs, "branch")
+        for index, sense, rhs in extra]
+    return solve_lp(clone)
+
+
+def _most_fractional(program: LinearProgram,
+                     solution: Solution) -> Optional[Tuple[int, float]]:
+    best: Optional[Tuple[int, float]] = None
+    best_score = _INT_TOLERANCE
+    for variable in program.variables:
+        if not variable.is_integer:
+            continue
+        value = solution.values.get(variable.index, 0.0)
+        score = abs(value - round(value))
+        if score > best_score:
+            best_score = score
+            best = (variable.index, value)
+    return best

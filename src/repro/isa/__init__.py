@@ -1,0 +1,29 @@
+"""KRISC: the simplified 32-bit embedded RISC target of this reproduction.
+
+Provides the instruction set, binary encoding, a two-pass assembler, a
+disassembler, and the :class:`Program` image consumed by every analysis.
+"""
+
+from .assembler import Assembler, AssemblyError, assemble
+from .disassembler import disassemble
+from .encoding import (DecodingError, EncodingError, INSTRUCTION_SIZE,
+                       decode, decode_from_bytes, encode, encode_to_bytes)
+from .instructions import (Cond, Format, Instruction, Opcode,
+                           format_instruction)
+from .program import (DATA_BASE, MemoryMap, Program, Section, STACK_BASE,
+                      STACK_LIMIT, TEXT_BASE)
+from .registers import (ARGUMENT_REGISTERS, CALLEE_SAVED, CALLER_SAVED, LR,
+                        NUM_REGISTERS, RETURN_REGISTER, SP, parse_register,
+                        register_name)
+
+__all__ = [
+    "Assembler", "AssemblyError", "assemble", "disassemble",
+    "DecodingError", "EncodingError", "INSTRUCTION_SIZE", "decode",
+    "decode_from_bytes", "encode", "encode_to_bytes",
+    "Cond", "Format", "Instruction", "Opcode", "format_instruction",
+    "DATA_BASE", "MemoryMap", "Program", "Section", "STACK_BASE",
+    "STACK_LIMIT", "TEXT_BASE",
+    "ARGUMENT_REGISTERS", "CALLEE_SAVED", "CALLER_SAVED", "LR",
+    "NUM_REGISTERS", "RETURN_REGISTER", "SP", "parse_register",
+    "register_name",
+]

@@ -1,0 +1,53 @@
+"""Linear disassembler for KRISC binaries.
+
+This is a diagnostic tool (used by reports and tests); CFG
+reconstruction in :mod:`repro.cfg` performs its own recursive-descent
+decoding and does not rely on linear sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .encoding import DecodingError, INSTRUCTION_SIZE, decode_from_bytes
+from .instructions import Instruction, format_instruction
+from .program import Program
+
+
+def disassemble_section(data: bytes, base: int
+                        ) -> Iterator[Tuple[int, Optional[Instruction]]]:
+    """Yield ``(address, instruction_or_None)`` for each word in ``data``.
+
+    Words that do not decode yield ``None`` so callers can render them as
+    raw data instead of aborting the sweep.
+    """
+    for offset in range(0, len(data) - len(data) % 4, INSTRUCTION_SIZE):
+        address = base + offset
+        try:
+            yield address, decode_from_bytes(
+                data[offset:offset + INSTRUCTION_SIZE], address)
+        except DecodingError:
+            yield address, None
+
+
+def disassemble(program: Program) -> str:
+    """Render the text section of ``program`` as annotated assembly."""
+    text = program.text
+    labels = {addr: name for name, addr in program.symbols.items()
+              if text.contains(addr)}
+    lines: List[str] = []
+    for address, instr in disassemble_section(text.data, text.base):
+        if address in labels:
+            lines.append(f"{labels[address]}:")
+        if instr is None:
+            word = int.from_bytes(
+                text.data[address - text.base:address - text.base + 4],
+                "little")
+            body = f".word 0x{word:08x}"
+        else:
+            body = format_instruction(instr)
+            target = instr.branch_target()
+            if target is not None and target in labels:
+                body += f"    ; -> {labels[target]}"
+        lines.append(f"  0x{address:05x}:  {body}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,322 @@
+"""Instruction set definition for the KRISC target.
+
+Every KRISC instruction is 32 bits wide.  Decoded instructions are
+represented uniformly by :class:`Instruction`, whose populated fields
+depend on the opcode's :class:`Format`.  This mirrors how binary-level
+analyzers such as aiT work: the decoder recovers a semantic instruction
+object from raw bytes, and all later phases (CFG reconstruction, value
+analysis, cache/pipeline analysis, simulation) interpret that object.
+
+Instruction classes
+-------------------
+
+===========  ==================================================
+ALU (reg)    ``ADD SUB MUL AND OR XOR SHL SHR ASR``
+ALU (imm)    ``ADDI SUBI MULI ANDI ORI XORI SHLI SHRI ASRI``
+Moves        ``MOV MOVI MOVHI``
+Compare      ``CMP CMPI`` (set N/Z/C/V flags)
+Memory       ``LDR STR`` (base + signed offset),
+             ``LDRX STRX`` (base + index register)
+Control      ``B`` (unconditional), ``BCC`` (conditional),
+             ``BL`` (call), ``BR`` (indirect jump),
+             ``BLR`` (indirect call), ``RET``
+Stack        ``PUSH POP`` (register-mask block transfer)
+Misc         ``NOP HALT``
+===========  ==================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .registers import register_name
+
+
+class Format(enum.Enum):
+    """Operand layout of an opcode."""
+
+    ALU_RRR = "rrr"      # rd, rs1, rs2
+    ALU_RRI = "rri"      # rd, rs1, imm16
+    MOV_RR = "mov_rr"    # rd, rs1
+    MOV_RI = "mov_ri"    # rd, imm16
+    CMP_RR = "cmp_rr"    # rs1, rs2
+    CMP_RI = "cmp_ri"    # rs1, imm16
+    MEM = "mem"          # rd/rs2, [rs1, imm16]
+    MEM_X = "mem_x"      # rd/rs2, [rs1, rs2x]
+    BRANCH = "branch"    # imm24 word offset
+    CBRANCH = "cbranch"  # cond, imm20 word offset
+    IBRANCH = "ibranch"  # rs1
+    REGLIST = "reglist"  # 16-bit register mask
+    NONE = "none"
+
+
+class Opcode(enum.IntEnum):
+    """Numeric opcodes (the top 6 bits of every encoded instruction)."""
+
+    # ALU register-register
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    AND = 0x04
+    OR = 0x05
+    XOR = 0x06
+    SHL = 0x07
+    SHR = 0x08
+    ASR = 0x09
+    # ALU register-immediate
+    ADDI = 0x11
+    SUBI = 0x12
+    MULI = 0x13
+    ANDI = 0x14
+    ORI = 0x15
+    XORI = 0x16
+    SHLI = 0x17
+    SHRI = 0x18
+    ASRI = 0x19
+    # Moves
+    MOV = 0x20
+    MOVI = 0x21
+    MOVHI = 0x22
+    # Compares
+    CMP = 0x24
+    CMPI = 0x25
+    # Memory
+    LDR = 0x28
+    STR = 0x29
+    LDRX = 0x2A
+    STRX = 0x2B
+    # Control flow
+    B = 0x30
+    BCC = 0x31
+    BL = 0x32
+    BR = 0x33
+    BLR = 0x34
+    RET = 0x35
+    # Stack block transfer
+    PUSH = 0x38
+    POP = 0x39
+    # Misc
+    NOP = 0x00
+    HALT = 0x3F
+
+
+class Cond(enum.IntEnum):
+    """Condition codes for ``BCC`` (ARM-style flag predicates)."""
+
+    EQ = 0x0   # Z
+    NE = 0x1   # !Z
+    LT = 0x2   # N != V          (signed <)
+    GE = 0x3   # N == V          (signed >=)
+    GT = 0x4   # !Z and N == V   (signed >)
+    LE = 0x5   # Z or N != V     (signed <=)
+    LO = 0x6   # !C              (unsigned <)
+    HS = 0x7   # C               (unsigned >=)
+    HI = 0x8   # C and !Z        (unsigned >)
+    LS = 0x9   # !C or Z         (unsigned <=)
+
+    def negated(self) -> "Cond":
+        """The condition that holds exactly when this one does not."""
+        return _NEGATIONS[self]
+
+
+_NEGATIONS = {
+    Cond.EQ: Cond.NE, Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE, Cond.GE: Cond.LT,
+    Cond.GT: Cond.LE, Cond.LE: Cond.GT,
+    Cond.LO: Cond.HS, Cond.HS: Cond.LO,
+    Cond.HI: Cond.LS, Cond.LS: Cond.HI,
+}
+
+
+OPCODE_FORMATS = {
+    Opcode.ADD: Format.ALU_RRR, Opcode.SUB: Format.ALU_RRR,
+    Opcode.MUL: Format.ALU_RRR, Opcode.AND: Format.ALU_RRR,
+    Opcode.OR: Format.ALU_RRR, Opcode.XOR: Format.ALU_RRR,
+    Opcode.SHL: Format.ALU_RRR, Opcode.SHR: Format.ALU_RRR,
+    Opcode.ASR: Format.ALU_RRR,
+    Opcode.ADDI: Format.ALU_RRI, Opcode.SUBI: Format.ALU_RRI,
+    Opcode.MULI: Format.ALU_RRI, Opcode.ANDI: Format.ALU_RRI,
+    Opcode.ORI: Format.ALU_RRI, Opcode.XORI: Format.ALU_RRI,
+    Opcode.SHLI: Format.ALU_RRI, Opcode.SHRI: Format.ALU_RRI,
+    Opcode.ASRI: Format.ALU_RRI,
+    Opcode.MOV: Format.MOV_RR, Opcode.MOVI: Format.MOV_RI,
+    Opcode.MOVHI: Format.MOV_RI,
+    Opcode.CMP: Format.CMP_RR, Opcode.CMPI: Format.CMP_RI,
+    Opcode.LDR: Format.MEM, Opcode.STR: Format.MEM,
+    Opcode.LDRX: Format.MEM_X, Opcode.STRX: Format.MEM_X,
+    Opcode.B: Format.BRANCH, Opcode.BL: Format.BRANCH,
+    Opcode.BCC: Format.CBRANCH,
+    Opcode.BR: Format.IBRANCH, Opcode.BLR: Format.IBRANCH,
+    Opcode.RET: Format.NONE,
+    Opcode.PUSH: Format.REGLIST, Opcode.POP: Format.REGLIST,
+    Opcode.NOP: Format.NONE, Opcode.HALT: Format.NONE,
+}
+
+#: Opcodes that may transfer control somewhere other than the next address.
+CONTROL_FLOW_OPCODES = frozenset({
+    Opcode.B, Opcode.BCC, Opcode.BL, Opcode.BR, Opcode.BLR,
+    Opcode.RET, Opcode.HALT,
+})
+
+#: Opcodes that read memory.
+LOAD_OPCODES = frozenset({Opcode.LDR, Opcode.LDRX, Opcode.POP})
+
+#: Opcodes that write memory.
+STORE_OPCODES = frozenset({Opcode.STR, Opcode.STRX, Opcode.PUSH})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded KRISC instruction.
+
+    Field meaning depends on ``opcode``'s :class:`Format`; unused fields
+    are ``None``/empty.  ``address`` is filled in by the decoder and names
+    the byte address the instruction was fetched from.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    cond: Optional[Cond] = None
+    reglist: Tuple[int, ...] = field(default=())
+    address: Optional[int] = None
+
+    @property
+    def format(self) -> Format:
+        return OPCODE_FORMATS[self.opcode]
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.opcode in CONTROL_FLOW_OPCODES
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in (Opcode.BL, Opcode.BLR)
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPCODES
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPCODES
+
+    @property
+    def accesses_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    def branch_target(self) -> Optional[int]:
+        """Absolute byte address of the static branch target, if any.
+
+        Returns ``None`` for non-branches and for indirect branches whose
+        target is not statically encoded (``BR``/``BLR``/``RET``).
+        """
+        if self.opcode in (Opcode.B, Opcode.BL, Opcode.BCC):
+            assert self.address is not None and self.imm is not None
+            return self.address + 4 + 4 * self.imm
+        return None
+
+    def written_registers(self) -> Tuple[int, ...]:
+        """Registers this instruction writes (excluding flags)."""
+        from .registers import LR, SP
+
+        fmt = self.format
+        if fmt in (Format.ALU_RRR, Format.ALU_RRI, Format.MOV_RR,
+                   Format.MOV_RI):
+            return (self.rd,)
+        if self.opcode in (Opcode.LDR, Opcode.LDRX):
+            return (self.rd,)
+        if self.opcode is Opcode.BL or self.opcode is Opcode.BLR:
+            return (LR,)
+        if self.opcode is Opcode.PUSH:
+            return (SP,)
+        if self.opcode is Opcode.POP:
+            return tuple(self.reglist) + (SP,)
+        return ()
+
+    def read_registers(self) -> Tuple[int, ...]:
+        """Registers this instruction reads."""
+        from .registers import LR, SP
+
+        op = self.opcode
+        fmt = self.format
+        if fmt is Format.ALU_RRR:
+            return (self.rs1, self.rs2)
+        if fmt is Format.ALU_RRI:
+            return (self.rs1,)
+        if fmt is Format.MOV_RR:
+            return (self.rs1,)
+        if op is Opcode.MOVHI:
+            return (self.rd,)
+        if fmt is Format.CMP_RR:
+            return (self.rs1, self.rs2)
+        if fmt is Format.CMP_RI:
+            return (self.rs1,)
+        if op is Opcode.LDR:
+            return (self.rs1,)
+        if op is Opcode.STR:
+            return (self.rs1, self.rs2)
+        if op is Opcode.LDRX:
+            return (self.rs1, self.rs2)
+        if op is Opcode.STRX:
+            return (self.rs1, self.rs2, self.rd)
+        if fmt is Format.IBRANCH:
+            return (self.rs1,)
+        if op is Opcode.RET:
+            return (LR,)
+        if op is Opcode.PUSH:
+            return tuple(self.reglist) + (SP,)
+        if op is Opcode.POP:
+            return (SP,)
+        return ()
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render ``instr`` in canonical assembly syntax."""
+    op = instr.opcode
+    name = op.name
+    fmt = instr.format
+    r = register_name
+    if fmt is Format.ALU_RRR:
+        return f"{name} {r(instr.rd)}, {r(instr.rs1)}, {r(instr.rs2)}"
+    if fmt is Format.ALU_RRI:
+        return f"{name} {r(instr.rd)}, {r(instr.rs1)}, #{instr.imm}"
+    if fmt is Format.MOV_RR:
+        return f"{name} {r(instr.rd)}, {r(instr.rs1)}"
+    if fmt is Format.MOV_RI:
+        return f"{name} {r(instr.rd)}, #{instr.imm}"
+    if fmt is Format.CMP_RR:
+        return f"{name} {r(instr.rs1)}, {r(instr.rs2)}"
+    if fmt is Format.CMP_RI:
+        return f"{name} {r(instr.rs1)}, #{instr.imm}"
+    if fmt is Format.MEM:
+        reg = instr.rd if op is Opcode.LDR else instr.rs2
+        return f"{name} {r(reg)}, [{r(instr.rs1)}, #{instr.imm}]"
+    if fmt is Format.MEM_X:
+        reg = instr.rd
+        return f"{name} {r(reg)}, [{r(instr.rs1)}, {r(instr.rs2)}]"
+    if fmt is Format.BRANCH:
+        target = instr.branch_target()
+        where = f"0x{target:x}" if target is not None else f"#{instr.imm}"
+        return f"{name} {where}"
+    if fmt is Format.CBRANCH:
+        target = instr.branch_target()
+        where = f"0x{target:x}" if target is not None else f"#{instr.imm}"
+        return f"B{instr.cond.name} {where}"
+    if fmt is Format.IBRANCH:
+        return f"{name} {r(instr.rs1)}"
+    if fmt is Format.REGLIST:
+        regs = ", ".join(r(i) for i in instr.reglist)
+        return f"{name} {{{regs}}}"
+    return name

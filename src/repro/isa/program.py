@@ -1,0 +1,156 @@
+"""Program images: the "binary" that all analyses start from.
+
+A :class:`Program` is the KRISC equivalent of the executables aiT
+analyzes: raw section bytes at fixed load addresses plus a symbol table.
+CFG reconstruction (:mod:`repro.cfg`) and the concrete simulator
+(:mod:`repro.sim`) both consume this object, so the analyses and the
+ground-truth execution are guaranteed to see the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .encoding import INSTRUCTION_SIZE, decode_from_bytes
+from .instructions import Instruction
+
+#: Default load address of the code section.
+TEXT_BASE = 0x1000
+#: Default load address of initialised data.
+DATA_BASE = 0x8000
+#: Default initial stack pointer (full-descending stack).
+STACK_BASE = 0x20000
+#: Default lowest address the stack may grow down to.
+STACK_LIMIT = 0x18000
+
+
+@dataclass(frozen=True)
+class Section:
+    """A contiguous region of the program image."""
+
+    name: str
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the section."""
+        return self.base + len(self.data)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+@dataclass
+class MemoryMap:
+    """Address-space layout of a program."""
+
+    text_base: int = TEXT_BASE
+    data_base: int = DATA_BASE
+    stack_base: int = STACK_BASE
+    stack_limit: int = STACK_LIMIT
+
+    def stack_capacity(self) -> int:
+        """Bytes of stack memory available before overflow."""
+        return self.stack_base - self.stack_limit
+
+
+class Program:
+    """A linked KRISC binary: sections, symbols, and an entry point."""
+
+    def __init__(self, sections: List[Section], symbols: Dict[str, int],
+                 entry: int, memory_map: Optional[MemoryMap] = None):
+        self.sections = list(sections)
+        self.symbols = dict(symbols)
+        self.entry = entry
+        self.memory_map = memory_map or MemoryMap()
+        self._by_name = {section.name: section for section in self.sections}
+
+    # -- Section access -------------------------------------------------
+
+    @property
+    def text(self) -> Section:
+        """The executable code section."""
+        return self._by_name[".text"]
+
+    def section(self, name: str) -> Section:
+        return self._by_name[name]
+
+    def has_section(self, name: str) -> bool:
+        return name in self._by_name
+
+    def section_at(self, address: int) -> Optional[Section]:
+        """The section containing ``address``, if any."""
+        for section in self.sections:
+            if section.contains(address):
+                return section
+        return None
+
+    def is_code_address(self, address: int) -> bool:
+        """True if ``address`` is a word-aligned address inside ``.text``."""
+        text = self.text
+        return text.contains(address) and (address - text.base) % 4 == 0
+
+    # -- Symbols ---------------------------------------------------------
+
+    def symbol_address(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"no such symbol: {name!r}") from None
+
+    def symbol_at(self, address: int) -> Optional[str]:
+        """A symbol whose value is exactly ``address``, if one exists."""
+        for name, value in self.symbols.items():
+            if value == address:
+                return name
+        return None
+
+    def function_symbols(self) -> Dict[str, int]:
+        """Symbols that point into the code section."""
+        text = self.text
+        return {name: addr for name, addr in self.symbols.items()
+                if text.contains(addr)}
+
+    # -- Instruction access ----------------------------------------------
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Decode the instruction stored at ``address``."""
+        text = self.text
+        if not self.is_code_address(address):
+            raise ValueError(f"0x{address:x} is not a code address")
+        offset = address - text.base
+        return decode_from_bytes(text.data[offset:offset + INSTRUCTION_SIZE],
+                                 address)
+
+    def iter_instructions(self) -> Iterator[Instruction]:
+        """Decode the whole code section in address order."""
+        text = self.text
+        for offset in range(0, len(text.data), INSTRUCTION_SIZE):
+            yield decode_from_bytes(
+                text.data[offset:offset + INSTRUCTION_SIZE],
+                text.base + offset)
+
+    # -- Initial memory ---------------------------------------------------
+
+    def initial_memory(self) -> Dict[int, int]:
+        """Word-addressed initial memory contents (little-endian words)."""
+        memory: Dict[int, int] = {}
+        for section in self.sections:
+            data = section.data
+            for offset in range(0, len(data) - len(data) % 4, 4):
+                word = int.from_bytes(data[offset:offset + 4], "little")
+                memory[section.base + offset] = word
+        return memory
+
+    def __repr__(self) -> str:
+        names = ", ".join(
+            f"{s.name}@0x{s.base:x}+{len(s.data)}" for s in self.sections)
+        return f"Program(entry=0x{self.entry:x}, sections=[{names}])"
+
+
+def word_range(start: int, end: int) -> Iterator[int]:
+    """Word-aligned addresses in ``[start, end)``."""
+    aligned = start - start % 4
+    return iter(range(aligned, end, 4))

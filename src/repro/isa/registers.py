@@ -1,0 +1,59 @@
+"""Register file definition for the KRISC target.
+
+KRISC is the simplified 32-bit embedded RISC target used throughout this
+reproduction (see DESIGN.md, "Substrate substitutions").  It has sixteen
+general-purpose registers with an ARM-like calling convention:
+
+* ``R0``--``R3``   argument / scratch registers, ``R0`` holds return values
+* ``R4``--``R11``  callee-saved registers
+* ``R12``          intra-call scratch register
+* ``R13`` (``SP``) stack pointer (full-descending stack)
+* ``R14`` (``LR``) link register
+
+The program counter is not a general-purpose register; branches are the
+only way to modify it.  A four-bit condition flag register (N, Z, C, V) is
+written by compare instructions and read by conditional branches.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 16
+
+SP = 13
+LR = 14
+
+#: Registers a called function must preserve.
+CALLEE_SAVED = tuple(range(4, 12))
+
+#: Registers a caller must assume are clobbered by a call.
+CALLER_SAVED = (0, 1, 2, 3, 12, 14)
+
+#: Registers used to pass the first four arguments.
+ARGUMENT_REGISTERS = (0, 1, 2, 3)
+
+#: Register holding a function's return value.
+RETURN_REGISTER = 0
+
+_SPECIAL_NAMES = {SP: "SP", LR: "LR"}
+_NAME_TO_INDEX = {"SP": SP, "LR": LR}
+_NAME_TO_INDEX.update({f"R{i}": i for i in range(NUM_REGISTERS)})
+
+
+def register_name(index: int) -> str:
+    """Return the canonical assembly name of register ``index``."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return _SPECIAL_NAMES.get(index, f"R{index}")
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name (``R0``..``R15``, ``SP``, ``LR``) to its index."""
+    index = _NAME_TO_INDEX.get(name.upper())
+    if index is None:
+        raise ValueError(f"unknown register name: {name!r}")
+    return index
+
+
+def is_callee_saved(index: int) -> bool:
+    """True if ``index`` must be preserved across calls."""
+    return index in CALLEE_SAVED

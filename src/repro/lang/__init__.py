@@ -1,0 +1,12 @@
+"""Mini-C: the C-subset compiler producing KRISC binaries for the
+analyses (substrate; see DESIGN.md)."""
+
+from .codegen import Codegen, CodegenError
+from .compiler import compile_program, compile_to_assembly
+from .lexer import LexerError, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "Codegen", "CodegenError", "compile_program", "compile_to_assembly",
+    "LexerError", "tokenize", "ParseError", "parse",
+]

@@ -1,0 +1,239 @@
+"""Path analysis by Implicit Path Enumeration (phase 6 of aiT).
+
+The WCET is the optimum of an integer linear program: execution counts
+on blocks and edges, structural flow-conservation constraints, loop
+bound constraints from phase 3, and infeasible-path exclusions from
+value analysis.  "Integer linear programming is used for path analysis"
+(Section 3); the solution also yields "a corresponding worst-case
+execution path" as the edge-count profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.loopbounds import LoopBound
+from ..analysis.valueanalysis import ValueAnalysisResult
+from ..cfg.expand import NodeId, TaskEdge, TaskGraph
+from ..cfg.graph import EdgeKind
+from ..ilp.model import LinearProgram, Sense, Solution
+from ..ilp.branchbound import solve_ilp
+from ..ilp.simplex import solve_lp
+from ..pipeline.analysis import TimingModel
+
+
+class UnboundedLoopError(ValueError):
+    """A loop has no iteration bound; WCET cannot be computed without a
+    user annotation (exactly aiT's behaviour)."""
+
+    def __init__(self, headers: List[NodeId]):
+        names = ", ".join(repr(h) for h in headers)
+        super().__init__(f"loops without iteration bounds: {names}; "
+                         "provide manual_bounds annotations")
+        self.headers = headers
+
+
+@dataclass
+class WorstCasePath:
+    """The worst-case execution profile: counts per node and edge."""
+
+    node_counts: Dict[NodeId, int]
+    edge_counts: Dict[Tuple[NodeId, NodeId, EdgeKind], int]
+
+    def count(self, node: NodeId) -> int:
+        return self.node_counts.get(node, 0)
+
+
+@dataclass
+class PathAnalysisResult:
+    """IPET output: the WCET bound and its witness profile."""
+
+    wcet_cycles: int
+    path: WorstCasePath
+    lp_bound: float                 # relaxation optimum (sound bound)
+    integral: bool                  # did the ILP confirm integrality?
+    num_variables: int
+    num_constraints: int
+
+
+class PathAnalysis:
+    """Builds and solves the IPET program for one task."""
+
+    def __init__(self, graph: TaskGraph, timing: TimingModel,
+                 loop_bounds: Dict[NodeId, LoopBound],
+                 values: Optional[ValueAnalysisResult] = None,
+                 use_infeasible_paths: bool = True):
+        self.graph = graph
+        self.timing = timing
+        self.loop_bounds = loop_bounds
+        self.values = values
+        self.use_infeasible_paths = use_infeasible_paths and \
+            values is not None
+
+    def solve(self, integer: bool = True) -> PathAnalysisResult:
+        program, node_vars, edge_vars, exit_vars, onetime_vars = \
+            self._build_program()
+        relaxation = solve_lp(program)
+        if relaxation.status == "unbounded":
+            raise UnboundedLoopError(self._unbounded_headers())
+        if relaxation.status != "optimal":
+            raise RuntimeError(
+                f"IPET program is {relaxation.status}; the task graph "
+                "is malformed")
+
+        solution = relaxation
+        integral = relaxation.is_integral()
+        if integer and not integral:
+            solution, _stats = solve_ilp(program)
+            integral = True
+
+        node_counts = {
+            node: int(round(solution.value_of(var)))
+            for node, var in node_vars.items()
+            if solution.value_of(var) > 1e-6}
+        edge_counts = {
+            key: int(round(solution.value_of(var)))
+            for key, var in edge_vars.items()
+            if solution.value_of(var) > 1e-6}
+        import math
+        wcet = int(round(solution.objective)) if integral \
+            else int(math.ceil(solution.objective - 1e-9))
+        return PathAnalysisResult(
+            wcet_cycles=wcet,
+            path=WorstCasePath(node_counts, edge_counts),
+            lp_bound=relaxation.objective,
+            integral=integral,
+            num_variables=program.num_variables,
+            num_constraints=program.num_constraints)
+
+    # -- Program construction ---------------------------------------------------
+
+    def _build_program(self):
+        graph = self.graph
+        program = LinearProgram("ipet")
+
+        node_vars = {node: program.add_variable(f"x_{i}")
+                     for i, node in enumerate(graph.nodes())}
+        edge_vars = {}
+        for node in graph.nodes():
+            for j, edge in enumerate(graph.successors(node)):
+                key = (edge.source, edge.target, edge.kind)
+                edge_vars[key] = program.add_variable(
+                    f"y_{node_vars[node].index}_{j}")
+        exit_vars = {node: program.add_variable(f"exit_{i}")
+                     for i, node in enumerate(graph.exit_nodes())}
+        onetime_vars = {}
+        for node, timing in self.timing.blocks.items():
+            if timing.onetime_cycles > 0:
+                onetime_vars[node] = program.add_variable(
+                    f"z_{node_vars[node].index}", upper=1)
+
+        # Flow conservation: executions = inflow = outflow.
+        for node, x_var in node_vars.items():
+            inflow = {x_var.index: -1.0}
+            for edge in graph.predecessors(node):
+                key = (edge.source, edge.target, edge.kind)
+                inflow[edge_vars[key].index] = \
+                    inflow.get(edge_vars[key].index, 0.0) + 1.0
+            rhs = -1.0 if node == graph.entry else 0.0
+            program.add_constraint(inflow, Sense.EQ, rhs,
+                                   f"in_{x_var.name}")
+
+            outflow = {x_var.index: -1.0}
+            for edge in graph.successors(node):
+                key = (edge.source, edge.target, edge.kind)
+                outflow[edge_vars[key].index] = \
+                    outflow.get(edge_vars[key].index, 0.0) + 1.0
+            if node in exit_vars:
+                outflow[exit_vars[node].index] = 1.0
+            program.add_constraint(outflow, Sense.EQ, 0.0,
+                                   f"out_{x_var.name}")
+
+        # Exactly one task exit.
+        program.add_constraint(
+            {var.index: 1.0 for var in exit_vars.values()},
+            Sense.EQ, 1.0, "one_exit")
+
+        # Loop bounds.
+        self._add_loop_constraints(program, edge_vars)
+
+        # Infeasible paths (ablation D5).
+        if self.use_infeasible_paths:
+            for edge in self.values.infeasible_edges:
+                key = (edge.source, edge.target, edge.kind)
+                program.add_constraint({edge_vars[key].index: 1.0},
+                                       Sense.EQ, 0.0, "infeasible")
+            for node, x_var in node_vars.items():
+                if not self.values.fixpoint.reachable(node):
+                    program.add_constraint({x_var.index: 1.0}, Sense.EQ,
+                                           0.0, "unreachable")
+
+        # One-time costs require the block to execute.
+        for node, z_var in onetime_vars.items():
+            program.add_constraint(
+                {z_var.index: 1.0, node_vars[node].index: -1.0},
+                Sense.LE, 0.0, "onetime_gate")
+
+        # Objective: worst-case cycles.
+        for node, x_var in node_vars.items():
+            program.set_objective_coefficient(
+                x_var, self.timing.block_cost(node))
+        for key, y_var in edge_vars.items():
+            cost = self.timing.edges.get(key, 0)
+            if cost:
+                program.set_objective_coefficient(y_var, cost)
+        for node, z_var in onetime_vars.items():
+            program.set_objective_coefficient(
+                z_var, self.timing.onetime_cost(node))
+
+        return program, node_vars, edge_vars, exit_vars, onetime_vars
+
+    def _add_loop_constraints(self, program: LinearProgram,
+                              edge_vars) -> None:
+        unbounded = []
+        if self.values is None:
+            return
+        for loop in self.values.fixpoint.loop_forest:
+            bound = self.loop_bounds.get(loop.header)
+            if bound is None or not bound.is_bounded:
+                unbounded.append(loop.header)
+                continue
+            coeffs: Dict[int, float] = {}
+            for latch, header in loop.back_edges:
+                for edge in self.graph.successors(latch):
+                    if edge.target == header:
+                        key = (edge.source, edge.target, edge.kind)
+                        coeffs[edge_vars[key].index] = 1.0
+            for edge in self.graph.predecessors(loop.header):
+                if edge.source not in loop.body:
+                    key = (edge.source, edge.target, edge.kind)
+                    coeffs[edge_vars[key].index] = \
+                        coeffs.get(edge_vars[key].index, 0.0) \
+                        - (bound.max_iterations - 1)
+            # The task entry is an implicit loop-entry edge executed once.
+            rhs = float(bound.max_iterations - 1) \
+                if loop.header == self.graph.entry else 0.0
+            program.add_constraint(coeffs, Sense.LE, rhs,
+                                   f"loop_{loop.header!r}")
+        if unbounded:
+            raise UnboundedLoopError(unbounded)
+
+    def _unbounded_headers(self) -> List[NodeId]:
+        return [loop.header
+                for loop in self.values.fixpoint.loop_forest
+                if not self.loop_bounds.get(
+                    loop.header,
+                    LoopBound(loop.header, None, "none")).is_bounded] \
+            if self.values is not None else []
+
+
+def analyze_paths(graph: TaskGraph, timing: TimingModel,
+                  loop_bounds: Dict[NodeId, LoopBound],
+                  values: Optional[ValueAnalysisResult] = None,
+                  use_infeasible_paths: bool = True,
+                  integer: bool = True) -> PathAnalysisResult:
+    """Compute the WCET bound and worst-case path (phase 6 of aiT)."""
+    analysis = PathAnalysis(graph, timing, loop_bounds, values,
+                            use_infeasible_paths)
+    return analysis.solve(integer=integer)

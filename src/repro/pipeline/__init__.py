@@ -1,0 +1,8 @@
+"""Pipeline timing analysis (phase 5 of the aiT pipeline)."""
+
+from .analysis import (BlockTiming, PipelineAnalysis, TimingModel,
+                       analyze_pipeline)
+
+__all__ = [
+    "BlockTiming", "PipelineAnalysis", "TimingModel", "analyze_pipeline",
+]

@@ -1,0 +1,174 @@
+"""Pipeline analysis (phase 5 of the aiT pipeline).
+
+"Pipeline analysis predicts the behavior of the program on the
+processor pipeline" using "the results of cache analysis ... allowing
+the prediction of pipeline stalls due to cache misses" (Section 3).
+
+The KRISC pipeline timing model is additive (see
+:class:`~repro.cache.config.MachineConfig`), so the per-block
+worst-case contribution is a sum over instructions where each cache
+access contributes its classified worst case:
+
+* always-hit: the hit cost,
+* always-miss / not-classified: the miss penalty on every execution,
+* persistent: hit cost per execution plus a *one-time* miss penalty.
+
+The only timing state crossing block boundaries is a possibly pending
+load (load-use hazard); it is propagated as a small abstract state (the
+set of registers possibly loaded by a block's last instruction), and
+the stall is charged to edges in the worst case.  Taken-branch
+penalties are likewise charged per edge, so IPET can distinguish taken
+from fall-through executions of a conditional branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cache.abstract import Classification
+from ..cache.analysis import DCacheResult, ICacheResult
+from ..cache.config import MachineConfig
+from ..cfg.expand import NodeId, TaskEdge, TaskGraph
+from ..cfg.graph import EdgeKind
+from ..isa.instructions import Instruction, Opcode
+
+_UNCONDITIONAL_TRANSFERS = {Opcode.B, Opcode.BL, Opcode.BR, Opcode.BLR,
+                            Opcode.RET}
+
+
+@dataclass
+class BlockTiming:
+    """Worst-case cycle contribution of one task-graph node."""
+
+    node: NodeId
+    base_cycles: int          # paid on every execution
+    onetime_cycles: int = 0   # paid at most once per task run (PS misses)
+
+
+@dataclass
+class TimingModel:
+    """Per-block and per-edge worst-case costs for IPET."""
+
+    blocks: Dict[NodeId, BlockTiming]
+    edges: Dict[Tuple[NodeId, NodeId, EdgeKind], int]
+
+    def block_cost(self, node: NodeId) -> int:
+        return self.blocks[node].base_cycles
+
+    def onetime_cost(self, node: NodeId) -> int:
+        return self.blocks[node].onetime_cycles
+
+    def edge_cost(self, edge: TaskEdge) -> int:
+        return self.edges.get((edge.source, edge.target, edge.kind), 0)
+
+    def total_onetime(self) -> int:
+        return sum(t.onetime_cycles for t in self.blocks.values())
+
+
+class PipelineAnalysis:
+    """Computes the worst-case timing model of a task."""
+
+    def __init__(self, graph: TaskGraph, config: MachineConfig,
+                 icache: ICacheResult, dcache: DCacheResult):
+        self.graph = graph
+        self.config = config
+        self.icache = icache
+        self.dcache = dcache
+
+    def analyze(self) -> TimingModel:
+        blocks = {node: self._time_block(node)
+                  for node in self.graph.nodes()}
+        edges = self._time_edges()
+        return TimingModel(blocks, edges)
+
+    # -- Per-block cost ----------------------------------------------------------
+
+    def _time_block(self, node: NodeId) -> BlockTiming:
+        config = self.config
+        block = self.graph.blocks[node]
+        fetch_classes = self.icache.for_node(node)
+        data_classes = self.dcache.for_node(node)
+
+        base = 0
+        onetime = 0
+
+        # Instruction issue + fetch + EX latency.
+        for index, instr in enumerate(block):
+            base += 1
+            if instr.opcode in (Opcode.MUL, Opcode.MULI):
+                base += config.mul_extra
+            outcome = fetch_classes[index] if index < len(fetch_classes) \
+                else Classification.NOT_CLASSIFIED
+            if outcome.worst_is_miss:
+                base += config.icache.miss_penalty
+            elif outcome is Classification.PERSISTENT:
+                onetime += config.icache.miss_penalty
+
+        # Data accesses: classified in recording order, grouped by the
+        # owning instruction for block-transfer beat costs.
+        per_instruction: Dict[int, int] = {}
+        for item in data_classes:
+            index = item.access.index
+            beat = per_instruction.get(index, 0)
+            if beat > 0:
+                base += 1   # extra beat of a PUSH/POP block transfer
+            per_instruction[index] = beat + 1
+            outcome = item.classification
+            if outcome.worst_is_miss:
+                base += config.dcache.miss_penalty
+            elif outcome is Classification.PERSISTENT:
+                onetime += config.dcache.miss_penalty
+
+        # Intra-block load-use stalls.
+        instructions = block.instructions
+        for current, following in zip(instructions, instructions[1:]):
+            if _loads_registers(current) & set(following.read_registers()):
+                base += config.load_use_stall
+
+        # Unconditional control transfers always pay the redirect.
+        if block.last.opcode in _UNCONDITIONAL_TRANSFERS:
+            base += config.branch_penalty
+
+        return BlockTiming(node, base, onetime)
+
+    # -- Per-edge cost ----------------------------------------------------------------
+
+    def _time_edges(self) -> Dict[Tuple[NodeId, NodeId, EdgeKind], int]:
+        config = self.config
+        costs: Dict[Tuple[NodeId, NodeId, EdgeKind], int] = {}
+        for node in self.graph.nodes():
+            block = self.graph.blocks[node]
+            pending = _loads_registers(block.last)
+            for edge in self.graph.successors(node):
+                cost = 0
+                # Taken conditional branches pay the redirect penalty.
+                if block.last.opcode is Opcode.BCC \
+                        and edge.kind is EdgeKind.TAKEN:
+                    cost += config.branch_penalty
+                # Cross-block load-use hazard.
+                if pending:
+                    successor = self.graph.blocks[edge.target]
+                    first = successor.instructions[0]
+                    if pending & set(first.read_registers()):
+                        cost += config.load_use_stall
+                if cost:
+                    costs[(edge.source, edge.target, edge.kind)] = cost
+        return costs
+
+
+def _loads_registers(instr: Instruction) -> Set[int]:
+    """Registers written by a load in ``instr`` (pending-load hazard
+    sources)."""
+    if instr.opcode in (Opcode.LDR, Opcode.LDRX):
+        return {instr.rd}
+    if instr.opcode is Opcode.POP:
+        return set(instr.reglist)
+    return set()
+
+
+def analyze_pipeline(graph: TaskGraph, config: MachineConfig,
+                     icache: ICacheResult,
+                     dcache: DCacheResult) -> TimingModel:
+    """Derive the worst-case timing model (phase 5 of the pipeline)."""
+    return PipelineAnalysis(graph, config, icache, dcache).analyze()

@@ -1,0 +1,6 @@
+"""Report files and annotated CFG visualisation (aiT report / aiSee)."""
+
+from .graphviz import wcet_dot
+from .text import wcet_report, worst_case_path_table
+
+__all__ = ["wcet_dot", "wcet_report", "worst_case_path_table"]

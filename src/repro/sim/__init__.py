@@ -1,0 +1,9 @@
+"""Concrete KRISC machine simulator (the executable ground truth)."""
+
+from .cpu import (AccessEvent, ExecutionResult, FetchEvent, OutOfFuel,
+                  SimulationError, Simulator, run_program)
+
+__all__ = [
+    "AccessEvent", "ExecutionResult", "FetchEvent", "OutOfFuel",
+    "SimulationError", "Simulator", "run_program",
+]

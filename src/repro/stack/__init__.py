@@ -1,0 +1,13 @@
+"""StackAnalyzer and OSEK system-level stack analysis (Section 2)."""
+
+from .analyzer import (StackAnalysisError, StackAnalysisResult,
+                       StackAnalyzer, analyze_stack)
+from .osek import (OSEKStackAnalysis, SystemStackResult, TaskSpec,
+                   analyze_system_stack)
+
+__all__ = [
+    "StackAnalysisError", "StackAnalysisResult", "StackAnalyzer",
+    "analyze_stack",
+    "OSEKStackAnalysis", "SystemStackResult", "TaskSpec",
+    "analyze_system_stack",
+]

@@ -1,0 +1,7 @@
+"""Corroborating verified bounds against concrete runs (S1-S5)."""
+
+from .checker import (BoundChecker, VerificationReport, Violation,
+                      verify_bounds)
+
+__all__ = ["BoundChecker", "VerificationReport", "Violation",
+           "verify_bounds"]

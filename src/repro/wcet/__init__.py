@@ -1,0 +1,5 @@
+"""aiT-style WCET analysis driver (all phases, Section 3)."""
+
+from .ait import WCETResult, analyze_wcet
+
+__all__ = ["WCETResult", "analyze_wcet"]

@@ -1,0 +1,11 @@
+"""Benchmark workload corpus (Mälardalen-style kernels in mini-C)."""
+
+from .suite import (WORKLOADS, Workload, analyze_workload, get_workload,
+                    observed_worst_case, random_inputs, simulate_workload,
+                    workload_names)
+
+__all__ = [
+    "WORKLOADS", "Workload", "analyze_workload", "get_workload",
+    "observed_worst_case", "random_inputs", "simulate_workload",
+    "workload_names",
+]

@@ -1,0 +1,416 @@
+"""Benchmark kernel sources (mini-C).
+
+Re-implementations of the classic WCET benchmark kernels (Mälardalen
+family) in mini-C — the workload classes the paper's evaluation domain
+(automotive/avionics control code) consists of: sorting, filtering,
+matrix math, CRCs, searches, and state machines.  Division-based
+kernels are omitted (KRISC has no divide unit), matching the paper's
+own domain where fixed-point shift/multiply code dominates.
+"""
+
+FIBCALL = """
+// Iterative Fibonacci (fibcall): tight scalar loop.
+int result;
+
+int fib(int n) {
+    int a = 0;
+    int b = 1;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int t = a + b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+void main() {
+    result = fib(30);
+}
+"""
+
+INSERTSORT = """
+// Insertion sort (insertsort): data-dependent triangular inner loop.
+int a[10] = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int sorted;
+
+void main() {
+    int i;
+    for (i = 1; i < 10; i = i + 1) {
+        int key = a[i];
+        int j = i;
+        while (j > 0 && a[j - 1] > key) {
+            a[j] = a[j - 1];
+            j = j - 1;
+        }
+        a[j] = key;
+    }
+    sorted = a[0];
+}
+"""
+
+BSORT = """
+// Bubble sort (bsort): triangular nest with hoisted inner limit.
+int a[12] = {12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int swaps;
+
+void main() {
+    int i;
+    swaps = 0;
+    for (i = 0; i < 11; i = i + 1) {
+        int lim = 11 - i;
+        int j;
+        for (j = 0; j < lim; j = j + 1) {
+            if (a[j] > a[j + 1]) {
+                int t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+                swaps = swaps + 1;
+            }
+        }
+    }
+}
+"""
+
+MATMULT = """
+// Matrix multiply (matmult): 4x4 fixed-size triple nest.
+int ma[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int mb[16] = {16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int mc[16];
+
+void main() {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        int j;
+        for (j = 0; j < 4; j = j + 1) {
+            int acc = 0;
+            int k;
+            for (k = 0; k < 4; k = k + 1) {
+                acc = acc + ma[i * 4 + k] * mb[k * 4 + j];
+            }
+            mc[i * 4 + j] = acc;
+        }
+    }
+}
+"""
+
+CRC = """
+// CRC-8 (crc): byte loop with 8-bit inner shift/xor loop.
+int message[16] = {0x31, 0x32, 0x33, 0x34, 0x35, 0x36, 0x37, 0x38,
+                   0x39, 0x30, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46};
+int crc;
+
+void main() {
+    int c = 0;
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        c = c ^ message[i];
+        int b;
+        for (b = 0; b < 8; b = b + 1) {
+            if (c & 0x80) {
+                c = ((c << 1) ^ 0x31) & 0xFF;
+            } else {
+                c = (c << 1) & 0xFF;
+            }
+        }
+    }
+    crc = c;
+}
+"""
+
+FIR = """
+// FIR filter (fir): dot products over a sliding window.
+int coeff[8] = {1, 3, 5, 7, 7, 5, 3, 1};
+int sample[40];
+int output[32];
+
+void main() {
+    int n;
+    for (n = 0; n < 40; n = n + 1) {
+        sample[n] = (n * 37) & 0xFF;
+    }
+    for (n = 0; n < 32; n = n + 1) {
+        int acc = 0;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+            acc = acc + coeff[k] * sample[n + k];
+        }
+        output[n] = acc >> 5;
+    }
+}
+"""
+
+BINARY_SEARCH = """
+// Binary search (bs): logarithmic loop needing a manual bound, like
+// the aiT annotation workflow for non-counted loops.
+int table[16] = {1, 4, 5, 8, 12, 17, 21, 22, 30, 33, 41, 47, 51, 60,
+                 61, 63};
+int found;
+
+int search(int key) {
+    int lo = 0;
+    int hi = 15;
+    while (lo <= hi) {
+        int mid = (lo + hi) >> 1;
+        int v = table[mid];
+        if (v == key) {
+            return mid;
+        }
+        if (v < key) {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return 0 - 1;
+}
+
+void main() {
+    found = search(22);
+}
+"""
+
+NSEARCH = """
+// Nested search with early exit (ns): worst case scans everything.
+int grid[25];
+int position;
+
+void main() {
+    int i;
+    for (i = 0; i < 25; i = i + 1) {
+        grid[i] = i * 3;
+    }
+    position = 0 - 1;
+    int r;
+    for (r = 0; r < 5; r = r + 1) {
+        int c;
+        for (c = 0; c < 5; c = c + 1) {
+            if (grid[r * 5 + c] == 72) {
+                position = r * 5 + c;
+                break;
+            }
+        }
+        if (position >= 0) {
+            break;
+        }
+    }
+}
+"""
+
+CNT = """
+// Matrix counting (cnt): classify elements of a matrix.
+int m[20] = {5, -3, 7, -1, 0, 2, -8, 4, -6, 9,
+             -2, 1, -7, 3, 0, -4, 6, -9, 8, -5};
+int positives;
+int negatives;
+int postotal;
+
+void main() {
+    int i;
+    positives = 0;
+    negatives = 0;
+    postotal = 0;
+    for (i = 0; i < 20; i = i + 1) {
+        int v = m[i];
+        if (v > 0) {
+            positives = positives + 1;
+            postotal = postotal + v;
+        } else {
+            if (v < 0) {
+                negatives = negatives + 1;
+            }
+        }
+    }
+}
+"""
+
+FDCT_LITE = """
+// Fixed-point butterfly transform (fdct-style): straight-line
+// shift/multiply arithmetic over an 8-sample block.
+int block[8] = {96, 73, 61, 42, 38, 27, 14, 9};
+
+void main() {
+    int s0 = block[0] + block[7];
+    int s1 = block[1] + block[6];
+    int s2 = block[2] + block[5];
+    int s3 = block[3] + block[4];
+    int d0 = block[0] - block[7];
+    int d1 = block[1] - block[6];
+    int d2 = block[2] - block[5];
+    int d3 = block[3] - block[4];
+    block[0] = (s0 + s3 + s1 + s2) >> 1;
+    block[4] = (s0 + s3 - s1 - s2) >> 1;
+    block[2] = ((s0 - s3) * 35468 + (s1 - s2) * 17734) >> 16;
+    block[6] = ((s0 - s3) * 17734 - (s1 - s2) * 35468) >> 16;
+    block[1] = (d0 * 45451 + d1 * 38568 + d2 * 25172 + d3 * 9223) >> 16;
+    block[3] = (d0 * 38568 - d1 * 9223 - d2 * 45451 - d3 * 25172) >> 16;
+    block[5] = (d0 * 25172 - d1 * 45451 + d2 * 9223 + d3 * 38568) >> 16;
+    block[7] = (d0 * 9223 - d1 * 25172 + d2 * 38568 - d3 * 45451) >> 16;
+}
+"""
+
+STATE_MACHINE = """
+// Protocol state machine (statemate-style): input-driven transitions
+// with many conditional paths.
+int events[24] = {0, 1, 2, 1, 0, 2, 2, 1, 0, 0, 1, 2,
+                  1, 1, 0, 2, 0, 1, 2, 2, 1, 0, 1, 2};
+int finalstate;
+int errors;
+
+void main() {
+    int state = 0;
+    int i;
+    errors = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        int e = events[i];
+        if (state == 0) {
+            if (e == 1) { state = 1; }
+            else { if (e == 2) { state = 2; } }
+        } else {
+            if (state == 1) {
+                if (e == 0) { state = 0; }
+                else {
+                    if (e == 2) { state = 3; }
+                    else { errors = errors + 1; }
+                }
+            } else {
+                if (state == 2) {
+                    if (e == 1) { state = 3; }
+                    else { state = 0; }
+                } else {
+                    state = 0;
+                }
+            }
+        }
+    }
+    finalstate = state;
+}
+"""
+
+EDN_LITE = """
+// Vector kernels (edn-style): saturated MAC and vector max.
+int vec1[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int vec2[16] = {16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+int mac;
+int vmax;
+
+void main() {
+    int acc = 0;
+    int best = vec1[0];
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        acc = acc + vec1[i] * vec2[i];
+        if (vec1[i] > best) {
+            best = vec1[i];
+        }
+    }
+    if (acc > 1000000) {
+        acc = 1000000;
+    }
+    mac = acc;
+    vmax = best;
+}
+"""
+
+CALL_TREE = """
+// Layered call tree (calltree): exercises context expansion and stack
+// depth through a 3-deep call chain with frames.
+int total;
+
+int leaf(int x) {
+    int buf[4];
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        buf[i] = x + i;
+    }
+    return buf[0] + buf[3];
+}
+
+int middle(int x) {
+    int a = leaf(x);
+    int b = leaf(x + 1);
+    return a + b;
+}
+
+void main() {
+    int i;
+    total = 0;
+    for (i = 0; i < 3; i = i + 1) {
+        total = total + middle(i);
+    }
+}
+"""
+
+JANNE_COMPLEX = """
+// Interacting loop counters (janne_complex): the inner trip count
+// depends non-trivially on the outer counter's trajectory.
+int result;
+
+void main() {
+    int a = 1;
+    int b = 1;
+    int count = 0;
+    while (a < 30) {
+        while (b < a) {
+            if (b > 5) {
+                b = b * 3;
+            } else {
+                b = b + 2;
+            }
+            if (b >= 10 && b <= 12) {
+                a = a + 10;
+            } else {
+                a = a + 1;
+            }
+            count = count + 1;
+        }
+        a = a + 2;
+        b = b - 10;
+    }
+    result = count;
+}
+"""
+
+LCDNUM = """
+// Seven-segment encoder (lcdnum): table-driven nibble decoding.
+int segtable[16] = {0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07,
+                    0x7F, 0x6F, 0x77, 0x7C, 0x39, 0x5E, 0x79, 0x71};
+int display[10];
+int input[10] = {0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0,
+                 0x11, 0x99};
+
+void main() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) {
+        int byte = input[i] & 0xFF;
+        int high = (byte >> 4) & 0x0F;
+        int low = byte & 0x0F;
+        display[i] = (segtable[high] << 8) | segtable[low];
+    }
+}
+"""
+
+DUFF_LITE = """
+// Strided copy (duff-style): stride-4 main loop plus remainder.
+int src[30];
+int dst[30];
+int checksum;
+
+void main() {
+    int i;
+    for (i = 0; i < 30; i = i + 1) {
+        src[i] = (i * 19) & 0x7F;
+    }
+    for (i = 0; i + 3 < 30; i = i + 4) {
+        dst[i] = src[i];
+        dst[i + 1] = src[i + 1];
+        dst[i + 2] = src[i + 2];
+        dst[i + 3] = src[i + 3];
+    }
+    while (i < 30) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    checksum = dst[29] + dst[0];
+}
+"""

@@ -1,0 +1,212 @@
+"""Unit tests for the abstract machine state: registers, flags,
+memory, and difference aliases."""
+
+import pytest
+
+from repro.analysis import Interval
+from repro.analysis.state import (AbstractMemory, AbstractState,
+                                  FlagsInfo)
+from repro.analysis.transfer import (refine_by_condition,
+                                     transfer_instruction)
+from repro.isa.instructions import Cond, Instruction, Opcode
+
+
+def fresh_state(**regs):
+    state = AbstractState(Interval)
+    for reg, (lo, hi) in regs.items():
+        state.regs[int(reg[1:])] = Interval(lo, hi)
+    return state
+
+
+class TestAbstractMemory:
+    def test_strong_update_exact_address(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(5))
+        assert memory.load(Interval.const(0x8000)) == Interval.const(5)
+
+    def test_load_unknown_address_is_top(self):
+        memory = AbstractMemory(Interval)
+        assert memory.load(Interval.const(0x9000)).is_top()
+
+    def test_weak_update_joins(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(1))
+        memory.store(Interval.const(0x8004), Interval.const(2))
+        memory.store(Interval(0x8000, 0x8004), Interval.const(9))
+        assert memory.load(Interval.const(0x8000)) == Interval(1, 9)
+        assert memory.load(Interval.const(0x8004)) == Interval(2, 9)
+
+    def test_wide_store_havocs_range(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(1))
+        memory.store(Interval.const(0x20000), Interval.const(2))
+        memory.store(Interval(0x7000, 0x10000), Interval.const(0))
+        assert memory.load(Interval.const(0x8000)).is_top()
+        assert memory.load(Interval.const(0x20000)) == Interval.const(2)
+
+    def test_range_load_joins_entries(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(3))
+        memory.store(Interval.const(0x8004), Interval.const(7))
+        loaded = memory.load(Interval(0x8000, 0x8004))
+        assert loaded == Interval(3, 7)
+
+    def test_range_load_with_gap_is_top(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(3))
+        # 0x8004 untracked -> join with top.
+        assert memory.load(Interval(0x8000, 0x8004)).is_top()
+
+    def test_join_intersects_keys(self):
+        a, b = AbstractMemory(Interval), AbstractMemory(Interval)
+        a.store(Interval.const(0x8000), Interval.const(1))
+        a.store(Interval.const(0x8004), Interval.const(2))
+        b.store(Interval.const(0x8004), Interval.const(5))
+        joined = a.join(b)
+        assert 0x8000 not in joined.entries
+        assert joined.entries[0x8004] == Interval(2, 5)
+
+    def test_leq(self):
+        small, big = AbstractMemory(Interval), AbstractMemory(Interval)
+        small.store(Interval.const(0x8000), Interval.const(2))
+        big.store(Interval.const(0x8000), Interval(0, 5))
+        assert small.leq(big)
+        assert not big.leq(small)
+        assert big.leq(AbstractMemory(Interval))   # empty = all top
+
+
+class TestDifferenceAliases:
+    def test_alias_created_by_addi(self):
+        state = fresh_state(R1=(0, 10))
+        instr = Instruction(Opcode.ADDI, rd=2, rs1=1, imm=3,
+                            address=0x1000)
+        transfer_instruction(state, instr)
+        assert state.aliases[2] == (1, 3)
+
+    def test_alias_cleared_on_base_write(self):
+        state = fresh_state(R1=(0, 10))
+        transfer_instruction(state, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=3, address=0))
+        transfer_instruction(state, Instruction(
+            Opcode.MOVI, rd=1, imm=0, address=4))
+        assert 2 not in state.aliases
+
+    def test_refinement_propagates_to_base(self):
+        # R2 = R1 + 3; assume R2 < 10  ==>  R1 < 7.
+        state = fresh_state(R1=(0, 100))
+        transfer_instruction(state, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=3, address=0))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=2, imm=10, address=4))
+        refined = refine_by_condition(state, Cond.LT)
+        assert refined.get(2).signed_bounds() == (3, 9)
+        assert refined.get(1).signed_bounds() == (0, 6)
+
+    def test_refinement_propagates_to_dependents(self):
+        # R2 = R1 + 4; assume R1 >= 8  ==>  R2 >= 12.
+        state = fresh_state(R1=(0, 100))
+        transfer_instruction(state, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=4, address=0))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=8, address=4))
+        refined = refine_by_condition(state, Cond.GE)
+        assert refined.get(1).signed_bounds()[0] == 8
+        assert refined.get(2).signed_bounds()[0] == 12
+
+    def test_mov_creates_zero_offset_alias(self):
+        state = fresh_state(R1=(5, 9))
+        transfer_instruction(state, Instruction(
+            Opcode.MOV, rd=3, rs1=1, address=0))
+        assert state.aliases[3] == (1, 0)
+
+    def test_join_keeps_only_common_aliases(self):
+        a = fresh_state(R1=(0, 10))
+        transfer_instruction(a, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=3, address=0))
+        b = fresh_state(R1=(0, 10))
+        transfer_instruction(b, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=5, address=0))
+        assert 2 not in a.join(b).aliases
+        c = fresh_state(R1=(0, 10))
+        transfer_instruction(c, Instruction(
+            Opcode.ADDI, rd=2, rs1=1, imm=3, address=0))
+        assert a.join(c).aliases[2] == (1, 3)
+
+
+class TestFlags:
+    def test_flags_recorded_by_cmp(self):
+        state = fresh_state(R1=(0, 5), R2=(3, 3))
+        transfer_instruction(state, Instruction(
+            Opcode.CMP, rs1=1, rs2=2, address=0))
+        assert state.flags.left_reg == 1
+        assert state.flags.right_reg == 2
+
+    def test_flag_link_invalidated_on_write(self):
+        state = fresh_state(R1=(0, 5))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=3, address=0))
+        transfer_instruction(state, Instruction(
+            Opcode.MOVI, rd=1, imm=9, address=4))
+        assert state.flags.left_reg is None
+        # The recorded value is still usable for feasibility.
+        assert state.flags.left == Interval(0, 5)
+
+    def test_refinement_after_invalidation_skips_register(self):
+        state = fresh_state(R1=(0, 5))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=3, address=0))
+        transfer_instruction(state, Instruction(
+            Opcode.MOVI, rd=1, imm=9, address=4))
+        refined = refine_by_condition(state, Cond.LT)
+        # R1 now holds 9 and must not be refined by the stale compare.
+        assert refined.get(1) == Interval.const(9)
+
+    def test_infeasible_condition_gives_bottom(self):
+        state = fresh_state(R1=(5, 5))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=5, address=0))
+        assert refine_by_condition(state, Cond.NE).is_bottom()
+        assert not refine_by_condition(state, Cond.EQ).is_bottom()
+
+    def test_unsigned_condition_refines_when_nonnegative(self):
+        state = fresh_state(R1=(0, 100))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=10, address=0))
+        refined = refine_by_condition(state, Cond.LO)
+        assert refined.get(1).signed_bounds() == (0, 9)
+
+    def test_unsigned_condition_skipped_when_possibly_negative(self):
+        state = fresh_state(R1=(-5, 100))
+        transfer_instruction(state, Instruction(
+            Opcode.CMPI, rs1=1, imm=10, address=0))
+        refined = refine_by_condition(state, Cond.LO)
+        # Signed/unsigned views differ: no refinement, but no bottom.
+        assert refined.get(1).signed_bounds() == (-5, 100)
+
+
+class TestStateLattice:
+    def test_join_pointwise(self):
+        a = fresh_state(R1=(0, 3))
+        b = fresh_state(R1=(5, 9))
+        assert a.join(b).get(1) == Interval(0, 9)
+
+    def test_bottom_absorbs(self):
+        a = fresh_state(R1=(0, 3))
+        bottom = AbstractState.bottom_state(Interval)
+        assert bottom.join(a).get(1) == Interval(0, 3)
+        assert a.join(bottom).get(1) == Interval(0, 3)
+
+    def test_leq_reflexive_and_ordered(self):
+        small = fresh_state(R1=(2, 3))
+        big = fresh_state(R1=(0, 9))
+        assert small.leq(small)
+        assert small.leq(big)
+        assert not big.leq(small)
+
+    def test_widen_drops_flags(self):
+        a = fresh_state(R1=(0, 3))
+        transfer_instruction(a, Instruction(
+            Opcode.CMPI, rs1=1, imm=3, address=0))
+        b = fresh_state(R1=(0, 4))
+        widened = a.widen(b)
+        assert widened.flags is None

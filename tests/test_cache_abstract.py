@@ -1,0 +1,266 @@
+"""Unit and property tests for abstract cache domains.
+
+The central property (S4 in DESIGN.md): must/may/persistence abstract
+states over-approximate every reachable concrete LRU state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (CacheConfig, Classification, LRUCache, MayCache,
+                         MustCache, PersistenceCache, TripleCacheState)
+
+CONFIG = CacheConfig(num_sets=4, associativity=2, line_size=16,
+                     miss_penalty=10)
+
+addresses = st.integers(min_value=0, max_value=16 * 32 - 1)
+
+
+class TestConcreteLRU:
+    def test_miss_then_hit(self):
+        cache = LRUCache(CONFIG)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(4)   # same line
+
+    def test_eviction_order(self):
+        cache = LRUCache(CONFIG)
+        # Three lines in the same set (stride = num_sets * line_size).
+        stride = CONFIG.num_sets * CONFIG.line_size
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)   # evicts line 0 (assoc 2)
+        assert not cache.contains(0)
+        assert cache.contains(stride)
+        assert cache.contains(2 * stride)
+
+    def test_lru_promotion(self):
+        cache = LRUCache(CONFIG)
+        stride = CONFIG.num_sets * CONFIG.line_size
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)            # promote line 0
+        cache.access(2 * stride)   # now evicts line of `stride`
+        assert cache.contains(0)
+        assert not cache.contains(stride)
+
+    def test_age_tracking(self):
+        cache = LRUCache(CONFIG)
+        stride = CONFIG.num_sets * CONFIG.line_size
+        cache.access(0)
+        cache.access(stride)
+        assert cache.age_of(stride) == 0
+        assert cache.age_of(0) == 1
+        assert cache.age_of(2 * stride) is None
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(CONFIG)
+        cache.access(0)
+        cache.access(0)
+        cache.access(256)
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert cache.accesses == 3
+
+
+class TestMustCache:
+    def test_access_inserts_at_age_zero(self):
+        must = MustCache(CONFIG)
+        must.access(5)
+        assert must.contains(5)
+        assert must.ages[5] == 0
+
+    def test_eviction_at_associativity(self):
+        must = MustCache(CONFIG)
+        lines = [0, CONFIG.num_sets, 2 * CONFIG.num_sets]  # same set
+        must.access(lines[0])
+        must.access(lines[1])
+        must.access(lines[2])
+        assert not must.contains(lines[0])
+        assert must.contains(lines[1])
+        assert must.contains(lines[2])
+
+    def test_join_intersects(self):
+        a, b = MustCache(CONFIG), MustCache(CONFIG)
+        a.access(1)
+        a.access(2)
+        b.access(2)
+        joined = a.join(b)
+        assert joined.contains(2)
+        assert not joined.contains(1)
+
+    def test_join_takes_max_age(self):
+        a, b = MustCache(CONFIG), MustCache(CONFIG)
+        a.ages = {1: 0}
+        b.ages = {1: 1}
+        assert a.join(b).ages[1] == 1
+
+    def test_rehit_refreshes_age(self):
+        must = MustCache(CONFIG)
+        same_set = [0, CONFIG.num_sets]
+        must.access(same_set[0])
+        must.access(same_set[1])
+        must.access(same_set[0])   # refresh
+        must.access(same_set[1])
+        assert must.contains(same_set[0])
+        assert must.contains(same_set[1])
+
+
+class TestMayCache:
+    def test_absence_proves_miss(self):
+        may = MayCache(CONFIG)
+        assert not may.may_contain(3)
+        may.access(3)
+        assert may.may_contain(3)
+
+    def test_join_unions(self):
+        a, b = MayCache(CONFIG), MayCache(CONFIG)
+        a.access(1)
+        b.access(2)
+        joined = a.join(b)
+        assert joined.may_contain(1)
+        assert joined.may_contain(2)
+
+    def test_universal_poisons(self):
+        may = MayCache(CONFIG)
+        may.make_universal()
+        assert may.may_contain(12345)
+        joined = MayCache(CONFIG).join(may)
+        assert joined.universal
+
+
+class TestClassification:
+    def test_always_hit_after_access(self):
+        state = TripleCacheState(CONFIG)
+        state.access(7)
+        assert state.classify(7) is Classification.ALWAYS_HIT
+
+    def test_always_miss_when_cold(self):
+        state = TripleCacheState(CONFIG)
+        assert state.classify(7) is Classification.ALWAYS_MISS
+
+    def test_not_classified_after_join(self):
+        hot = TripleCacheState(CONFIG)
+        hot.access(7)
+        cold = TripleCacheState(CONFIG)
+        # Saturate persistence in the cold branch so the line is neither
+        # must-present, may-absent, nor persistent.
+        stride = CONFIG.num_sets
+        cold.access(7)
+        cold.access(7 + stride)
+        cold.access(7 + 2 * stride)   # 7 evicted, pers saturated
+        joined = hot.join(cold)
+        assert joined.classify(7) is Classification.NOT_CLASSIFIED
+
+    def test_persistent_after_benign_join(self):
+        hot = TripleCacheState(CONFIG)
+        hot.access(7)
+        cold = TripleCacheState(CONFIG)   # never accessed 7
+        joined = hot.join(cold)
+        # 7 may or may not be cached, but was never possibly evicted.
+        assert joined.classify(7) is Classification.PERSISTENT
+
+    def test_range_classification(self):
+        state = TripleCacheState(CONFIG)
+        state.access(1)
+        state.access(2)
+        assert state.classify_range([1, 2]) is Classification.ALWAYS_HIT
+        assert state.classify_range([10, 11]) is Classification.ALWAYS_MISS
+
+
+@st.composite
+def access_sequences(draw):
+    return draw(st.lists(addresses, min_size=0, max_size=40))
+
+
+class TestSoundnessAgainstConcrete:
+    """Galois soundness of the abstract caches (property S4/S6)."""
+
+    @given(access_sequences(), addresses)
+    @settings(max_examples=300)
+    def test_must_cache_soundness(self, sequence, probe):
+        concrete = LRUCache(CONFIG)
+        must = MustCache(CONFIG)
+        for address in sequence:
+            concrete.access(address)
+            must.access(CONFIG.line_of(address))
+        line = CONFIG.line_of(probe)
+        if must.contains(line):
+            assert concrete.contains(probe)
+            assert concrete.age_of(probe) <= must.ages[line]
+
+    @given(access_sequences(), addresses)
+    @settings(max_examples=300)
+    def test_may_cache_soundness(self, sequence, probe):
+        concrete = LRUCache(CONFIG)
+        may = MayCache(CONFIG)
+        for address in sequence:
+            concrete.access(address)
+            may.access(CONFIG.line_of(address))
+        line = CONFIG.line_of(probe)
+        if not may.may_contain(line):
+            assert not concrete.contains(probe)
+        elif concrete.contains(probe):
+            assert concrete.age_of(probe) >= may.ages.get(line, 0)
+
+    @given(access_sequences())
+    @settings(max_examples=200)
+    def test_classification_matches_concrete(self, sequence):
+        """AH accesses hit and AM accesses miss in the concrete run."""
+        concrete = LRUCache(CONFIG)
+        abstract = TripleCacheState(CONFIG)
+        for address in sequence:
+            line = CONFIG.line_of(address)
+            outcome = abstract.classify(line)
+            hit = concrete.access(address)
+            abstract.access(line)
+            if outcome is Classification.ALWAYS_HIT:
+                assert hit
+            elif outcome is Classification.ALWAYS_MISS:
+                assert not hit
+
+    @given(access_sequences())
+    @settings(max_examples=200)
+    def test_persistence_soundness(self, sequence):
+        """A PS-classified line misses at most once in the run."""
+        concrete = LRUCache(CONFIG)
+        abstract = TripleCacheState(CONFIG)
+        miss_counts = {}
+        persistent_lines = set()
+        for address in sequence:
+            line = CONFIG.line_of(address)
+            outcome = abstract.classify(line)
+            hit = concrete.access(address)
+            abstract.access(line)
+            if not hit:
+                miss_counts[line] = miss_counts.get(line, 0) + 1
+            if outcome is Classification.PERSISTENT:
+                persistent_lines.add(line)
+        # In straight-line execution persistence means: every access
+        # classified PS occurs while the line cannot have been evicted
+        # since first load, so the line's total misses stay at <= 1.
+        for line in persistent_lines:
+            assert miss_counts.get(line, 0) <= 1
+
+    @given(access_sequences(), access_sequences(), addresses)
+    @settings(max_examples=200)
+    def test_join_soundness(self, seq_a, seq_b, probe):
+        """The join over-approximates both branches."""
+        concrete_a = LRUCache(CONFIG)
+        abstract_a = TripleCacheState(CONFIG)
+        for address in seq_a:
+            concrete_a.access(address)
+            abstract_a.access(CONFIG.line_of(address))
+        abstract_b = TripleCacheState(CONFIG)
+        concrete_b = LRUCache(CONFIG)
+        for address in seq_b:
+            concrete_b.access(address)
+            abstract_b.access(CONFIG.line_of(address))
+        joined = abstract_a.join(abstract_b)
+        line = CONFIG.line_of(probe)
+        if joined.must.contains(line):
+            assert concrete_a.contains(probe)
+            assert concrete_b.contains(probe)
+        if not joined.may.may_contain(line):
+            assert not concrete_a.contains(probe)
+            assert not concrete_b.contains(probe)

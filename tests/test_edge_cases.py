@@ -1,0 +1,276 @@
+"""Failure injection and edge cases across the pipeline.
+
+A verification tool must fail loudly on inputs outside its supported
+program class rather than emit an unsound bound; these tests pin that
+behaviour down.
+"""
+
+import pytest
+
+from repro.analysis import Interval
+from repro.cfg import (CFGError, ExpansionError, IrreducibleLoopError,
+                       build_cfg, expand_task, find_loops)
+from repro.cache import CacheConfig
+from repro.isa import (AssemblyError, Instruction, Opcode, assemble,
+                       encode_to_bytes)
+from repro.isa.program import MemoryMap, Program, Section
+from repro.sim import SimulationError, Simulator, run_program
+from repro.wcet import analyze_wcet
+
+
+class TestMalformedBinaries:
+    def test_control_flow_into_data_word(self):
+        # Hand-build a text section whose second word is not code.
+        words = [encode_to_bytes(Instruction(Opcode.NOP, address=0x1000)),
+                 (0x3E << 26).to_bytes(4, "little")]   # invalid opcode
+        program = Program(
+            [Section(".text", 0x1000, b"".join(words))], {}, 0x1000)
+        with pytest.raises(CFGError):
+            build_cfg(program)
+
+    def test_fallthrough_off_end_of_text(self):
+        words = [encode_to_bytes(Instruction(Opcode.NOP, address=0x1000))]
+        program = Program(
+            [Section(".text", 0x1000, b"".join(words))], {}, 0x1000)
+        with pytest.raises(CFGError):
+            build_cfg(program)
+
+    def test_branch_below_text(self):
+        source = """
+        main:
+            B main
+        """
+        program = assemble(source)
+        # Patch entry to point before the section.
+        with pytest.raises(ValueError):
+            program.instruction_at(0x0FFC)
+
+    def test_simulator_rejects_non_code_pc(self):
+        program = assemble("main: HALT\n.data\nv: .word 0\n")
+        simulator = Simulator(program)
+        simulator.pc = program.symbols["v"]
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+
+class TestUnsupportedProgramClasses:
+    def test_recursion_rejected_at_expansion(self):
+        program = assemble("""
+        main:
+            BL main
+            HALT
+        """)
+        binary = build_cfg(program)
+        with pytest.raises(RecursionError):
+            expand_task(binary)
+
+    def test_irreducible_loop_rejected(self):
+        # Jump into the middle of a loop (two-entry cycle).
+        source = """
+        main:
+            CMPI R0, #0
+            BEQ middle
+        head:
+            ADDI R1, R1, #1
+        middle:
+            ADDI R2, R2, #1
+            CMPI R2, #10
+            BLT head
+            HALT
+        """
+        binary = build_cfg(assemble(source))
+        graph = expand_task(binary)
+        with pytest.raises(IrreducibleLoopError):
+            find_loops(graph.entry, graph.adjacency())
+
+    def test_context_explosion_guard(self):
+        # 2^n contexts via chained double calls; cap must trip.
+        functions = []
+        for level in range(12):
+            callee = f"f{level + 1}"
+            functions.append(f"""
+f{level}:
+    PUSH {{LR}}
+    BL {callee}
+    BL {callee}
+    POP {{LR}}
+    RET""")
+        source = "main:\n    BL f0\n    HALT\n" + "\n".join(functions) \
+            + "\nf12:\n    RET\n"
+        binary = build_cfg(assemble(source))
+        with pytest.raises(ExpansionError):
+            expand_task(binary, max_contexts=500)
+
+
+class TestConfigurationValidation:
+    def test_cache_config_rejects_non_powers_of_two(self):
+        with pytest.raises(ValueError):
+            CacheConfig(num_sets=3)
+        with pytest.raises(ValueError):
+            CacheConfig(associativity=0)
+        with pytest.raises(ValueError):
+            CacheConfig(line_size=24)
+        with pytest.raises(ValueError):
+            CacheConfig(miss_penalty=-1)
+
+    def test_assembler_rejects_far_branch(self):
+        # A conditional branch reaches +/- 2^21 words; fake a too-far
+        # target via .equ.
+        source = """
+        .equ FAR, 0x4000000
+        main:
+            BEQ FAR
+        """
+        with pytest.raises((AssemblyError, Exception)):
+            assemble(source)
+
+
+class TestDegenerateTasks:
+    def test_single_halt(self):
+        program = assemble("main: HALT\n")
+        result = analyze_wcet(program)
+        execution = run_program(program)
+        assert result.wcet_cycles == execution.cycles
+
+    def test_empty_loop_body(self):
+        program = assemble("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #3
+            BLT loop
+            HALT
+        """)
+        result = analyze_wcet(program)
+        assert result.wcet_cycles >= run_program(program).cycles
+
+    def test_branch_to_next_instruction(self):
+        program = assemble("""
+        main:
+            B next
+        next:
+            HALT
+        """)
+        result = analyze_wcet(program)
+        execution = run_program(program)
+        assert result.wcet_cycles == execution.cycles
+
+    def test_loop_bound_one(self):
+        # Loop whose condition fails immediately.
+        program = assemble("""
+        main:
+            MOVI R0, #10
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #5
+            BLT loop
+            HALT
+        """)
+        result = analyze_wcet(program)
+        execution = run_program(program)
+        assert result.wcet_cycles >= execution.cycles
+        # One pass through the loop body, no back edge.
+        (bound,) = result.loop_bounds.values()
+        assert bound.max_iterations == 1
+
+    def test_multiple_exits(self):
+        program = assemble("""
+        main:
+            CMPI R0, #0
+            BEQ alt
+            HALT
+        alt:
+            NOP
+            HALT
+        """)
+        result = analyze_wcet(program, register_ranges={0: (0, 1)})
+        for value in (0, 1):
+            execution = run_program(program, arguments={0: value})
+            assert result.wcet_cycles >= execution.cycles
+
+    def test_dead_function_never_expanded(self):
+        # An uncalled function is not part of the task graph.
+        program = assemble("""
+        main:
+            HALT
+        orphan:
+            RET
+        """)
+        binary = build_cfg(program)
+        assert len(binary.functions) == 1
+
+    def test_unreachable_after_halt_not_decoded(self):
+        # Bytes after HALT may be garbage; reconstruction must not
+        # touch them.
+        text = (encode_to_bytes(Instruction(Opcode.HALT,
+                                            address=0x1000))
+                + (0x3E << 26).to_bytes(4, "little"))
+        program = Program([Section(".text", 0x1000, text)],
+                          {"main": 0x1000}, 0x1000)
+        binary = build_cfg(program)
+        assert binary.total_instructions() == 1
+
+
+class TestDomainEdgeCases:
+    def test_bottom_propagates_through_arithmetic(self):
+        bottom = Interval.bottom()
+        value = Interval.range(0, 5)
+        assert bottom.add(value).is_bottom()
+        assert value.mul(bottom).is_bottom()
+        assert bottom.join(value) == value
+        assert value.meet(bottom).is_bottom()
+
+    def test_full_range_operations(self):
+        top = Interval.top()
+        assert top.add(Interval.const(1)).is_top()
+        assert top.bitand(Interval.const(0xFF)) == Interval.range(0, 0xFF)
+
+    def test_shift_amount_out_of_range(self):
+        value = Interval.range(0, 10)
+        assert value.shl(Interval.range(30, 40)).is_top()
+        assert value.shl(Interval.const(33)) == \
+            value.shl(Interval.const(1))   # hardware masks to 5 bits
+
+
+class TestSimulatorEdgeCases:
+    def test_pop_at_stack_base_reads_zeroes(self):
+        program = assemble("main:\n POP {R4}\n HALT\n")
+        result = run_program(program)
+        assert result.register(4) == 0
+
+    def test_ret_without_call_traps(self):
+        program = assemble("main: RET\n")
+        with pytest.raises(SimulationError):
+            run_program(program)
+
+    def test_indirect_jump_to_register_target(self):
+        program = assemble("""
+        main:
+            LDA R0, finish
+            BR R0
+        dead:
+            NOP
+        finish:
+            HALT
+        """)
+        result = run_program(program)
+        assert result.halted
+        dead = program.symbols["dead"]
+        assert dead not in result.instruction_counts
+
+    def test_cmp_overflow_flag_semantics(self):
+        # INT_MIN - 1 overflows: signed comparison must still be right.
+        program = assemble("""
+        main:
+            LDI R0, #0x80000000
+            CMPI R0, #1
+            BLT less
+            MOVI R1, #0
+            HALT
+        less:
+            MOVI R1, #1
+            HALT
+        """)
+        result = run_program(program)
+        assert result.register(1) == 1

@@ -1,0 +1,211 @@
+"""Unit and property tests for the interval domain."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import INT_MAX, INT_MIN, Interval, to_signed
+
+
+def ivl(lo, hi):
+    return Interval(lo, hi)
+
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+word_ints = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(small_ints)
+    b = draw(small_ints)
+    return Interval(min(a, b), max(a, b))
+
+
+class TestLattice:
+    def test_const(self):
+        value = Interval.const(5)
+        assert value.as_constant() == 5
+        assert value.contains(5)
+        assert not value.contains(6)
+
+    def test_const_wraps_to_signed(self):
+        assert Interval.const(0xFFFFFFFF).as_constant() == -1
+
+    def test_top_bottom(self):
+        assert Interval.top().is_top()
+        assert Interval.bottom().is_bottom()
+        assert not Interval.top().is_bottom()
+
+    def test_join(self):
+        assert ivl(0, 5).join(ivl(3, 10)) == ivl(0, 10)
+        assert ivl(0, 5).join(Interval.bottom()) == ivl(0, 5)
+
+    def test_meet(self):
+        assert ivl(0, 5).meet(ivl(3, 10)) == ivl(3, 5)
+        assert ivl(0, 2).meet(ivl(5, 9)).is_bottom()
+
+    def test_leq(self):
+        assert ivl(2, 3).leq(ivl(0, 5))
+        assert not ivl(0, 5).leq(ivl(2, 3))
+        assert Interval.bottom().leq(ivl(1, 1))
+
+    @given(intervals(), intervals())
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined)
+        assert b.leq(joined)
+
+    @given(intervals(), intervals())
+    def test_meet_is_lower_bound(self, a, b):
+        met = a.meet(b)
+        assert met.leq(a)
+        assert met.leq(b)
+
+    @given(intervals(), intervals(), small_ints)
+    def test_join_soundness(self, a, b, x):
+        if a.contains(x) or b.contains(x):
+            assert a.join(b).contains(x)
+
+    @given(intervals(), intervals())
+    def test_widen_is_upper_bound(self, a, b):
+        widened = a.widen(b)
+        assert a.leq(widened)
+        assert b.leq(widened)
+
+    def test_widening_terminates(self):
+        current = ivl(0, 0)
+        for i in range(100):
+            previous = current
+            current = current.widen(ivl(0, i + 1))
+        assert current == previous  # stabilised long before 100 steps
+
+    def test_widening_with_thresholds(self):
+        widened = ivl(0, 3).widen(ivl(0, 4), thresholds=(10, 100))
+        assert widened == ivl(0, 10)
+
+    def test_narrowing_recovers_bound(self):
+        widened = ivl(0, INT_MAX)
+        narrowed = widened.narrow(ivl(0, 9))
+        assert narrowed == ivl(0, 9)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert ivl(1, 2).add(ivl(10, 20)) == ivl(11, 22)
+
+    def test_sub(self):
+        assert ivl(1, 2).sub(ivl(10, 20)) == ivl(-19, -8)
+
+    def test_mul_signs(self):
+        assert ivl(-2, 3).mul(ivl(4, 5)) == ivl(-10, 15)
+
+    def test_overflow_goes_top(self):
+        assert ivl(INT_MAX, INT_MAX).add(Interval.const(1)).is_top()
+
+    def test_shl(self):
+        assert ivl(1, 2).shl(Interval.const(4)) == ivl(16, 32)
+
+    def test_shr_nonnegative(self):
+        assert ivl(16, 64).shr(Interval.const(2)) == ivl(4, 16)
+
+    def test_asr_negative(self):
+        assert ivl(-8, 8).asr(Interval.const(1)) == ivl(-4, 4)
+
+    def test_bitand_nonnegative_bound(self):
+        result = ivl(0, 100).bitand(ivl(0, 15))
+        assert result.lo >= 0 and result.hi <= 15
+
+    def test_bitand_constants(self):
+        assert Interval.const(0b1100).bitand(Interval.const(0b1010)) \
+            == Interval.const(0b1000)
+
+    @given(intervals(), intervals(), small_ints, small_ints)
+    @settings(max_examples=300)
+    def test_arithmetic_soundness(self, a, b, x, y):
+        """Galois soundness: concrete op result lies in abstract result."""
+        if not (a.contains(x) and b.contains(y)):
+            return
+        assert a.add(b).contains(to_signed(x + y))
+        assert a.sub(b).contains(to_signed(x - y))
+        assert a.mul(b).contains(to_signed(x * y))
+        assert a.bitand(b).contains(to_signed(x & y))
+        assert a.bitor(b).contains(to_signed(x | y))
+        assert a.bitxor(b).contains(to_signed(x ^ y))
+
+    @given(intervals(), st.integers(min_value=0, max_value=31), small_ints)
+    def test_shift_soundness(self, a, shift, x):
+        if not a.contains(x):
+            return
+        amount = Interval.const(shift)
+        assert a.shl(amount).contains(to_signed(x << shift))
+        assert a.asr(amount).contains(to_signed(x >> shift))
+        unsigned = (x & 0xFFFFFFFF) >> shift
+        assert a.shr(amount).contains(to_signed(unsigned))
+
+
+class TestComparisons:
+    def test_refine_lt(self):
+        assert ivl(0, 10).refine_signed("<", Interval.const(5)) == ivl(0, 4)
+
+    def test_refine_ge(self):
+        assert ivl(0, 10).refine_signed(">=", Interval.const(5)) \
+            == ivl(5, 10)
+
+    def test_refine_eq(self):
+        assert ivl(0, 10).refine_signed("==", Interval.const(7)) \
+            == Interval.const(7)
+
+    def test_refine_ne_shrinks_endpoint(self):
+        assert ivl(0, 10).refine_signed("!=", Interval.const(0)) \
+            == ivl(1, 10)
+        assert ivl(0, 10).refine_signed("!=", Interval.const(10)) \
+            == ivl(0, 9)
+        assert ivl(0, 10).refine_signed("!=", Interval.const(5)) \
+            == ivl(0, 10)
+
+    def test_refine_to_bottom(self):
+        assert ivl(5, 10).refine_signed("<", Interval.const(5)).is_bottom()
+
+    def test_compare_definite(self):
+        assert ivl(0, 4).compare_signed("<", Interval.const(5)) is True
+        assert ivl(5, 9).compare_signed("<", Interval.const(5)) is False
+        assert ivl(0, 9).compare_signed("<", Interval.const(5)) is None
+
+    def test_compare_eq(self):
+        assert Interval.const(3).compare_signed(
+            "==", Interval.const(3)) is True
+        assert ivl(0, 2).compare_signed("==", ivl(5, 6)) is False
+        assert ivl(0, 5).compare_signed("==", ivl(5, 6)) is None
+
+    @given(intervals(), intervals(), small_ints,
+           st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    @settings(max_examples=300)
+    def test_refinement_soundness(self, a, b, x, op):
+        """Values satisfying the predicate survive refinement."""
+        if not a.contains(x):
+            return
+        import operator
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+               ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+        lo, hi = b.signed_bounds()
+        if b.is_bottom():
+            return
+        for y in {lo, hi}:
+            if b.contains(y) and ops[op](x, y):
+                assert a.refine_signed(op, b).contains(x)
+                break
+
+    @given(intervals(), intervals(),
+           st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    @settings(max_examples=300)
+    def test_compare_decisions_are_correct(self, a, b, op):
+        """A definite answer must match every pair of concretisations."""
+        import operator
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+               ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+        decision = a.compare_signed(op, b)
+        if decision is None or a.is_bottom() or b.is_bottom():
+            return
+        for x in {a.lo, a.hi}:
+            for y in {b.lo, b.hi}:
+                assert ops[op](x, y) == decision

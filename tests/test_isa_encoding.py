@@ -1,0 +1,214 @@
+"""Unit tests for KRISC instruction encoding and decoding."""
+
+import pytest
+
+from repro.isa import (Cond, DecodingError, EncodingError, Instruction,
+                       Opcode, decode, encode)
+from repro.isa.encoding import decode_from_bytes, encode_to_bytes
+from repro.isa.instructions import OPCODE_FORMATS, Format
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr), address=instr.address)
+
+
+class TestAluEncoding:
+    def test_alu_rrr_roundtrip(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, address=0x1000)
+        assert roundtrip(instr) == instr
+
+    def test_alu_rri_roundtrip(self):
+        instr = Instruction(Opcode.ADDI, rd=4, rs1=5, imm=-42,
+                            address=0x1000)
+        assert roundtrip(instr) == instr
+
+    def test_all_alu_rrr_opcodes(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+                   Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+                   Opcode.ASR):
+            instr = Instruction(op, rd=15, rs1=0, rs2=7)
+            assert roundtrip(instr) == instr
+
+    def test_all_alu_rri_opcodes(self):
+        for op in (Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.ANDI,
+                   Opcode.ORI, Opcode.XORI, Opcode.SHLI, Opcode.SHRI,
+                   Opcode.ASRI):
+            instr = Instruction(op, rd=3, rs1=14, imm=0x7FFF)
+            assert roundtrip(instr) == instr
+
+    def test_imm16_boundaries(self):
+        for imm in (-32768, -1, 0, 1, 32767):
+            instr = Instruction(Opcode.ADDI, rd=0, rs1=0, imm=imm)
+            assert roundtrip(instr).imm == imm
+
+    def test_imm16_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADDI, rd=0, rs1=0, imm=32768))
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADDI, rd=0, rs1=0, imm=-32769))
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, rd=16, rs1=0, rs2=0))
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADD, rd=None, rs1=0, rs2=0))
+
+
+class TestMoveCompareEncoding:
+    def test_mov_rr(self):
+        instr = Instruction(Opcode.MOV, rd=9, rs1=10)
+        assert roundtrip(instr) == instr
+
+    def test_movi_sign_extension(self):
+        instr = Instruction(Opcode.MOVI, rd=1, imm=-1)
+        assert roundtrip(instr).imm == -1
+
+    def test_movhi_unsigned(self):
+        instr = Instruction(Opcode.MOVHI, rd=1, imm=0xFFFF)
+        assert roundtrip(instr).imm == 0xFFFF
+
+    def test_movhi_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.MOVHI, rd=1, imm=-1))
+
+    def test_cmp_rr(self):
+        instr = Instruction(Opcode.CMP, rs1=3, rs2=12)
+        assert roundtrip(instr) == instr
+
+    def test_cmpi(self):
+        instr = Instruction(Opcode.CMPI, rs1=3, imm=-100)
+        assert roundtrip(instr) == instr
+
+
+class TestMemoryEncoding:
+    def test_ldr(self):
+        instr = Instruction(Opcode.LDR, rd=2, rs1=13, imm=8)
+        assert roundtrip(instr) == instr
+
+    def test_str(self):
+        instr = Instruction(Opcode.STR, rs2=2, rs1=13, imm=-4)
+        assert roundtrip(instr) == instr
+
+    def test_ldrx(self):
+        instr = Instruction(Opcode.LDRX, rd=2, rs1=5, rs2=6)
+        assert roundtrip(instr) == instr
+
+    def test_strx(self):
+        instr = Instruction(Opcode.STRX, rd=2, rs1=5, rs2=6)
+        assert roundtrip(instr) == instr
+
+
+class TestBranchEncoding:
+    def test_unconditional_branch(self):
+        instr = Instruction(Opcode.B, imm=-3, address=0x1010)
+        back = roundtrip(instr)
+        assert back == instr
+        assert back.branch_target() == 0x1010 + 4 - 12
+
+    def test_conditional_branch_all_conditions(self):
+        for cond in Cond:
+            instr = Instruction(Opcode.BCC, cond=cond, imm=5,
+                                address=0x1000)
+            back = roundtrip(instr)
+            assert back.cond is cond
+            assert back.branch_target() == 0x1000 + 4 + 20
+
+    def test_call(self):
+        instr = Instruction(Opcode.BL, imm=100, address=0x1000)
+        assert roundtrip(instr) == instr
+
+    def test_indirect(self):
+        assert roundtrip(Instruction(Opcode.BR, rs1=7)).rs1 == 7
+        assert roundtrip(Instruction(Opcode.BLR, rs1=7)).rs1 == 7
+
+    def test_ret_and_misc(self):
+        for op in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+            assert roundtrip(Instruction(op)).opcode is op
+
+    def test_branch_offset_bounds(self):
+        assert roundtrip(Instruction(Opcode.B, imm=(1 << 25) - 1)).imm \
+            == (1 << 25) - 1
+        assert roundtrip(Instruction(Opcode.B, imm=-(1 << 25))).imm \
+            == -(1 << 25)
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.B, imm=1 << 25))
+
+
+class TestReglistEncoding:
+    def test_push_pop(self):
+        regs = (4, 5, 6, 14)
+        for op in (Opcode.PUSH, Opcode.POP):
+            instr = Instruction(op, reglist=regs)
+            assert roundtrip(instr).reglist == regs
+
+    def test_empty_reglist_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.PUSH, reglist=()))
+
+    def test_full_reglist(self):
+        regs = tuple(range(16))
+        instr = Instruction(Opcode.PUSH, reglist=regs)
+        assert roundtrip(instr).reglist == regs
+
+
+class TestDecodingErrors:
+    def test_invalid_opcode(self):
+        with pytest.raises(DecodingError):
+            decode(0x3E << 26)
+
+    def test_invalid_condition(self):
+        word = (int(Opcode.BCC) << 26) | (0xF << 22)
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_truncated_bytes(self):
+        with pytest.raises(DecodingError):
+            decode_from_bytes(b"\x00\x01")
+
+    def test_error_carries_address(self):
+        try:
+            decode(0x3E << 26, address=0x1234)
+        except DecodingError as exc:
+            assert exc.address == 0x1234
+        else:  # pragma: no cover
+            pytest.fail("expected DecodingError")
+
+
+class TestInstructionProperties:
+    def test_written_registers_alu(self):
+        assert Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2) \
+            .written_registers() == (3,)
+
+    def test_written_registers_pop_includes_sp(self):
+        written = Instruction(Opcode.POP, reglist=(4, 5)) \
+            .written_registers()
+        assert set(written) == {4, 5, 13}
+
+    def test_read_registers_store(self):
+        assert set(Instruction(Opcode.STR, rs2=2, rs1=13, imm=0)
+                   .read_registers()) == {2, 13}
+
+    def test_call_writes_lr(self):
+        assert Instruction(Opcode.BL, imm=0).written_registers() == (14,)
+
+    def test_control_flow_flags(self):
+        assert Instruction(Opcode.B, imm=0).is_control_flow
+        assert Instruction(Opcode.RET).is_return
+        assert Instruction(Opcode.BL, imm=0).is_call
+        assert not Instruction(Opcode.ADD, rd=0, rs1=0, rs2=0) \
+            .is_control_flow
+
+    def test_memory_flags(self):
+        assert Instruction(Opcode.LDR, rd=0, rs1=0, imm=0).is_load
+        assert Instruction(Opcode.STRX, rd=0, rs1=0, rs2=0).is_store
+        assert Instruction(Opcode.PUSH, reglist=(4,)).accesses_memory
+
+    def test_every_opcode_has_format(self):
+        for op in Opcode:
+            assert isinstance(OPCODE_FORMATS[op], Format)
+
+    def test_str_rendering(self):
+        text = str(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=3))
+        assert text == "ADDI R1, R2, #3"
+        text = str(Instruction(Opcode.LDR, rd=0, rs1=13, imm=4))
+        assert text == "LDR R0, [SP, #4]"

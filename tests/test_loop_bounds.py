@@ -1,0 +1,287 @@
+"""Tests for loop bound analysis (experiment E8's foundations)."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.cfg import build_cfg, expand_task
+from repro.analysis import analyze_loop_bounds, analyze_values
+
+
+def bounds_for(source, **kwargs):
+    graph = expand_task(build_cfg(assemble(source)))
+    values = analyze_values(graph)
+    return graph, analyze_loop_bounds(values, **kwargs)
+
+
+def single_bound(source, **kwargs):
+    _graph, bounds = bounds_for(source, **kwargs)
+    assert len(bounds) == 1
+    return next(iter(bounds.values()))
+
+
+class TestAffinePatterns:
+    def test_count_up_lt(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """)
+        assert bound.max_iterations == 10
+        assert bound.method == "affine"
+
+    def test_count_up_le(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #10
+            BLE loop
+            HALT
+        """)
+        assert bound.max_iterations == 11
+
+    def test_count_down_gt(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #10
+        loop:
+            SUBI R0, R0, #1
+            CMPI R0, #0
+            BGT loop
+            HALT
+        """)
+        assert bound.max_iterations == 10
+
+    def test_count_down_ge(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #10
+        loop:
+            SUBI R0, R0, #1
+            CMPI R0, #0
+            BGE loop
+            HALT
+        """)
+        assert bound.max_iterations == 11
+
+    def test_step_two(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #2
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """)
+        assert bound.max_iterations == 5
+
+    def test_ne_exit(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #7
+            BNE loop
+            HALT
+        """)
+        assert bound.max_iterations == 7
+
+    def test_test_before_increment(self):
+        # while (i < 10) { ...; i++ } compiled with the compare first.
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            CMPI R0, #10
+            BGE done
+            ADDI R0, R0, #1
+            B loop
+        done:
+            HALT
+        """)
+        # Header executes 11 times (10 full iterations + failing test).
+        assert bound.max_iterations == 11
+
+    def test_register_limit(self):
+        bound = single_bound("""
+        main:
+            MOVI R5, #6
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMP R0, R5
+            BLT loop
+            HALT
+        """)
+        assert bound.max_iterations == 6
+
+    def test_interval_init_uses_worst_case(self):
+        # Counter starts in [0, 3] -> at most 10 iterations from 0.
+        source = """
+        main:
+            CMPI R1, #0
+            BLT neg
+            MOVI R0, #3
+            B go
+        neg:
+            MOVI R0, #0
+        go:
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """
+        _graph, bounds = bounds_for(source)
+        (bound,) = bounds.values()
+        assert bound.max_iterations == 10
+
+
+class TestNestedLoops:
+    def test_rectangular_nest(self):
+        source = """
+        main:
+            MOVI R0, #0
+        outer:
+            MOVI R1, #0
+        inner:
+            ADDI R1, R1, #1
+            CMPI R1, #4
+            BLT inner
+            ADDI R0, R0, #1
+            CMPI R0, #3
+            BLT outer
+            HALT
+        """
+        graph, bounds = bounds_for(source)
+        values = sorted(b.max_iterations for b in bounds.values())
+        assert values == [3, 4]
+
+    def test_triangular_nest_uses_outer_interval(self):
+        # for i in 0..5: for j in 0..i  -> inner bound must cover i=5.
+        source = """
+        main:
+            MOVI R0, #0
+        outer:
+            MOVI R1, #0
+        inner:
+            ADDI R1, R1, #1
+            CMP R1, R0
+            BLE inner
+            ADDI R0, R0, #1
+            CMPI R0, #5
+            BLT outer
+            HALT
+        """
+        graph, bounds = bounds_for(source)
+        per_loop = {b.max_iterations for b in bounds.values()}
+        # Outer: 5 iterations. Inner: j tested against i in [0,4]
+        assert 5 in per_loop
+        inner = max(per_loop)
+        assert inner >= 5    # sound
+        assert inner <= 7    # and not wildly imprecise
+
+
+class TestUnrollFallback:
+    def test_conditional_increment_loop(self):
+        # Counter updated twice per iteration -> not "simple"; unrolling
+        # still bounds it.
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            ADDI R0, R0, #1
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """)
+        assert bound.method == "unroll"
+        assert bound.max_iterations == 5
+
+    def test_shifting_counter(self):
+        # Counter doubles each iteration: not affine.
+        bound = single_bound("""
+        main:
+            MOVI R0, #1
+        loop:
+            SHLI R0, R0, #1
+            CMPI R0, #64
+            BLT loop
+            HALT
+        """)
+        assert bound.method == "unroll"
+        assert bound.max_iterations == 6
+
+    def test_unbounded_loop_reports_none(self):
+        bound = single_bound("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #0
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """, unroll_limit=50)
+        assert bound.max_iterations is None
+        assert bound.method == "none"
+
+    def test_input_dependent_exit_is_unbounded(self):
+        # Exit depends on an unknown input register.
+        bound = single_bound("""
+        main:
+        loop:
+            SUBI R0, R0, #1
+            CMPI R0, #0
+            BGT loop
+            HALT
+        """, unroll_limit=50)
+        # R0 is unknown at entry: cannot bound.
+        assert bound.max_iterations is None
+
+
+class TestAnnotations:
+    def test_manual_bound_overrides(self):
+        source = """
+        main:
+        loop:
+            SUBI R0, R0, #1
+            CMPI R0, #0
+            BGT loop
+            HALT
+        """
+        graph, bounds = bounds_for(source)
+        program = assemble(source)
+        header = program.symbols["loop"]
+        graph2 = expand_task(build_cfg(assemble(source)))
+        values = analyze_values(graph2)
+        bounds = analyze_loop_bounds(values, manual_bounds={header: 25})
+        (bound,) = bounds.values()
+        assert bound.max_iterations == 25
+        assert bound.method == "annotation"
+
+
+class TestSoundnessAgainstExecution:
+    @pytest.mark.parametrize("n", [1, 2, 7, 10, 33])
+    def test_bound_covers_actual_iterations(self, n):
+        source = f"""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #{n}
+            BLT loop
+            HALT
+        """
+        bound = single_bound(source)
+        # Concrete header executions = n (do-while shape).
+        assert bound.max_iterations is not None
+        assert bound.max_iterations >= n
+        assert bound.max_iterations == n  # exact for this family

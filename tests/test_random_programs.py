@@ -1,0 +1,168 @@
+"""End-to-end soundness on randomly generated programs (S3).
+
+Hypothesis generates structured random KRISC programs (straight-line
+arithmetic, if/else diamonds, small counted loops, memory traffic) and
+random inputs.  For each: the concrete run's final register and memory
+values must be contained in the abstract state value analysis computed
+at the exit — over every domain — and the WCET/stack bounds must cover
+the run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Const, Interval, StridedInterval, analyze_values
+from repro.cfg import build_cfg, expand_task
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.stack import analyze_stack
+from repro.wcet import analyze_wcet
+
+# Registers the generator assigns freely (R1 is the data base pointer,
+# R0 the input; SP/LR stay untouched).
+WORK_REGS = (2, 3, 4, 5, 6)
+
+_ALU_RRR = ("ADD", "SUB", "MUL", "AND", "OR", "XOR")
+_ALU_RRI = ("ADDI", "SUBI", "ANDI", "ORI", "XORI")
+
+
+@st.composite
+def straightline(draw, max_ops=6):
+    lines = []
+    for _ in range(draw(st.integers(0, max_ops))):
+        choice = draw(st.integers(0, 5))
+        rd = draw(st.sampled_from(WORK_REGS))
+        rs = draw(st.sampled_from(WORK_REGS))
+        rt = draw(st.sampled_from(WORK_REGS))
+        imm = draw(st.integers(-100, 100))
+        if choice == 0:
+            lines.append(f"MOVI R{rd}, #{imm}")
+        elif choice == 1:
+            op = draw(st.sampled_from(_ALU_RRR))
+            lines.append(f"{op} R{rd}, R{rs}, R{rt}")
+        elif choice == 2:
+            op = draw(st.sampled_from(_ALU_RRI))
+            lines.append(f"{op} R{rd}, R{rs}, #{imm}")
+        elif choice == 3:
+            shift = draw(st.integers(0, 7))
+            op = draw(st.sampled_from(("SHLI", "SHRI", "ASRI")))
+            lines.append(f"{op} R{rd}, R{rs}, #{shift}")
+        elif choice == 4:
+            offset = 4 * draw(st.integers(0, 7))
+            lines.append(f"STR R{rs}, [R1, #{offset}]")
+        else:
+            offset = 4 * draw(st.integers(0, 7))
+            lines.append(f"LDR R{rd}, [R1, #{offset}]")
+    return lines
+
+
+@st.composite
+def programs(draw):
+    label_counter = [0]
+
+    def fresh():
+        label_counter[0] += 1
+        return f"gen{label_counter[0]}"
+
+    body = []
+    body.extend(draw(straightline()))
+    for _ in range(draw(st.integers(0, 2))):
+        kind = draw(st.integers(0, 1))
+        if kind == 0:
+            # if/else diamond on a random comparison.
+            reg = draw(st.sampled_from(WORK_REGS + (0,)))
+            value = draw(st.integers(-50, 50))
+            cond = draw(st.sampled_from(
+                ("EQ", "NE", "LT", "GE", "GT", "LE")))
+            l_else, l_end = fresh(), fresh()
+            body.append(f"CMPI R{reg}, #{value}")
+            body.append(f"B{cond} {l_else}")
+            body.extend(draw(straightline(4)))
+            body.append(f"B {l_end}")
+            body.append(f"{l_else}:")
+            body.extend(draw(straightline(4)))
+            body.append(f"{l_end}:")
+        else:
+            # Counted do-while loop with a dedicated counter (R7).
+            count = draw(st.integers(1, 6))
+            l_loop = fresh()
+            body.append("MOVI R7, #0")
+            body.append(f"{l_loop}:")
+            body.extend(draw(straightline(3)))
+            body.append("ADDI R7, R7, #1")
+            body.append(f"CMPI R7, #{count}")
+            body.append(f"BLT {l_loop}")
+    source = "main:\n    LDA R1, buf\n" + \
+        "\n".join(f"    {line}" for line in body) + \
+        "\n    HALT\n.data\nbuf: .space 64\n"
+    input_low = draw(st.integers(-100, 100))
+    input_high = input_low + draw(st.integers(0, 50))
+    input_value = draw(st.integers(input_low, input_high))
+    return source, (input_low, input_high), input_value
+
+
+@pytest.mark.parametrize("domain", [Interval, StridedInterval, Const])
+@given(data=programs())
+@settings(max_examples=40, deadline=None)
+def test_abstract_state_contains_concrete_run(domain, data):
+    source, input_range, input_value = data
+    program = assemble(source)
+    graph = expand_task(build_cfg(program))
+    values = analyze_values(graph, domain=domain,
+                            register_ranges={0: input_range})
+    execution = run_program(program, arguments={0: input_value},
+                            max_steps=100_000)
+
+    exit_nodes = graph.exit_nodes()
+    final_states = [values.state_after_block(node)
+                    for node in exit_nodes]
+    final_states = [s for s in final_states
+                    if s is not None and not s.is_bottom()]
+    assert final_states, "no reachable exit state"
+    joined = final_states[0]
+    for state in final_states[1:]:
+        joined = joined.join(state)
+
+    for reg in range(16):
+        concrete = execution.registers[reg]
+        assert joined.get(reg).contains(concrete), (
+            f"R{reg}={concrete:#x} not in {joined.get(reg)!r}")
+
+
+@given(data=programs())
+@settings(max_examples=25, deadline=None)
+def test_wcet_and_stack_bounds_cover_random_runs(data):
+    source, input_range, input_value = data
+    program = assemble(source)
+    wcet = analyze_wcet(program, register_ranges={0: input_range})
+    stack = analyze_stack(program, register_ranges={0: input_range})
+    execution = run_program(program, arguments={0: input_value},
+                            max_steps=100_000)
+    assert execution.cycles <= wcet.wcet_cycles
+    assert execution.max_stack_usage <= stack.bound
+
+
+@given(data=programs())
+@settings(max_examples=25, deadline=None)
+def test_abstract_memory_contains_concrete_memory(data):
+    source, input_range, input_value = data
+    program = assemble(source)
+    graph = expand_task(build_cfg(program))
+    values = analyze_values(graph, register_ranges={0: input_range})
+
+    from repro.sim import Simulator
+    simulator = Simulator(program)
+    simulator.run(arguments={0: input_value}, max_steps=100_000)
+
+    exit_states = [values.state_after_block(node)
+                   for node in graph.exit_nodes()]
+    exit_states = [s for s in exit_states
+                   if s is not None and not s.is_bottom()]
+    joined = exit_states[0]
+    for state in exit_states[1:]:
+        joined = joined.join(state)
+    for address, abstract in joined.memory.entries.items():
+        concrete = simulator.memory.get(address, 0)
+        assert abstract.contains(concrete), (
+            f"mem[{address:#x}]={concrete:#x} not in {abstract!r}")

@@ -1,0 +1,95 @@
+"""Tests for report generation and DOT export."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.report import wcet_dot, wcet_report, worst_case_path_table
+from repro.stack import analyze_stack
+from repro.wcet import analyze_wcet
+
+SOURCE = """
+main:
+    MOVI R4, #0
+loop:
+    BL helper
+    ADDI R4, R4, #1
+    CMPI R4, #5
+    BLT loop
+    HALT
+helper:
+    PUSH {R4}
+    MOVI R4, #1
+    POP {R4}
+    RET
+"""
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    program = assemble(SOURCE)
+    return program, analyze_wcet(program), analyze_stack(program)
+
+
+class TestTextReport:
+    def test_contains_all_phases(self, analysis):
+        _program, wcet, stack = analysis
+        text = wcet_report(wcet, stack)
+        for phase in ("CFG reconstruction", "value analysis",
+                      "loop bounds", "cache analysis",
+                      "pipeline analysis", "path analysis"):
+            assert phase in text
+
+    def test_reports_bound_and_loops(self, analysis):
+        _program, wcet, stack = analysis
+        text = wcet_report(wcet, stack)
+        assert f"WCET BOUND: {wcet.wcet_cycles} cycles" in text
+        assert "5 iterations [affine]" in text
+
+    def test_stack_section(self, analysis):
+        _program, wcet, stack = analysis
+        text = wcet_report(wcet, stack)
+        assert "StackAnalyzer" in text
+        assert "helper" in text
+
+    def test_without_stack_result(self, analysis):
+        _program, wcet, _stack = analysis
+        text = wcet_report(wcet)
+        assert "StackAnalyzer" not in text
+        assert "WCET BOUND" in text
+
+    def test_path_table_lists_loop_block(self, analysis):
+        program, wcet, _stack = analysis
+        table = worst_case_path_table(wcet)
+        assert "count" in table
+        # The helper body executes 5 times in the worst case.
+        assert " 5 " in table
+
+
+class TestDotExport:
+    def test_valid_digraph_structure(self, analysis):
+        _program, wcet, _stack = analysis
+        dot = wcet_dot(wcet)
+        assert dot.startswith("digraph wcet {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == wcet.graph.edge_count()
+
+    def test_call_and_return_edges_styled(self, analysis):
+        _program, wcet, _stack = analysis
+        dot = wcet_dot(wcet)
+        assert "darkgreen" in dot    # call edge
+        assert "purple" in dot       # return edge
+
+    def test_counts_annotated(self, analysis):
+        _program, wcet, _stack = analysis
+        dot = wcet_dot(wcet)
+        assert "cyc x" in dot
+
+    def test_instruction_listing_mode(self, analysis):
+        _program, wcet, _stack = analysis
+        dot = wcet_dot(wcet, include_instructions=True)
+        assert "ADDI R4, R4, #1" in dot
+
+    def test_condition_labels_on_edges(self, analysis):
+        _program, wcet, _stack = analysis
+        dot = wcet_dot(wcet)
+        assert "[LT]" in dot or "[GE]" in dot

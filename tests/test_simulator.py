@@ -1,0 +1,405 @@
+"""Tests for the concrete KRISC simulator."""
+
+import pytest
+
+from repro.isa import STACK_BASE, assemble
+from repro.isa.registers import SP
+from repro.cache.config import CacheConfig, MachineConfig
+from repro.sim import OutOfFuel, SimulationError, Simulator, run_program
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestArithmetic:
+    def test_basic_alu(self):
+        result = run("""
+        main:
+            MOVI R0, #6
+            MOVI R1, #7
+            MUL R2, R0, R1
+            HALT
+        """)
+        assert result.register(2) == 42
+
+    def test_wrapping_add(self):
+        result = run("""
+        main:
+            LDI R0, #0x7FFFFFFF
+            ADDI R0, R0, #1
+            HALT
+        """)
+        assert result.register(0) == 0x80000000
+        assert result.signed_register(0) == -(1 << 31)
+
+    def test_shifts(self):
+        result = run("""
+        main:
+            MOVI R0, #-8
+            ASRI R1, R0, #1
+            SHRI R2, R0, #1
+            MOVI R3, #3
+            SHLI R3, R3, #4
+            HALT
+        """)
+        assert result.signed_register(1) == -4
+        assert result.register(2) == 0x7FFFFFFC
+        assert result.register(3) == 48
+
+    def test_bitwise(self):
+        result = run("""
+        main:
+            MOVI R0, #0xFF
+            ANDI R1, R0, #0x0F
+            ORI R2, R0, #0x100
+            XORI R3, R0, #0xFF
+            HALT
+        """)
+        assert result.register(1) == 0x0F
+        assert result.register(2) == 0x1FF
+        assert result.register(3) == 0
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        result = run("""
+        main:
+            MOVI R0, #0
+            MOVI R1, #0
+        loop:
+            ADDI R1, R1, #5
+            ADDI R0, R0, #1
+            CMPI R0, #10
+            BLT loop
+            HALT
+        """)
+        assert result.register(0) == 10
+        assert result.register(1) == 50
+
+    def test_signed_conditions(self):
+        result = run("""
+        main:
+            MOVI R0, #-1
+            CMPI R0, #1
+            BLT yes
+            MOVI R1, #0
+            HALT
+        yes:
+            MOVI R1, #1
+            HALT
+        """)
+        assert result.register(1) == 1
+
+    def test_unsigned_conditions(self):
+        # -1 unsigned is the largest word: HS (unsigned >=) holds.
+        result = run("""
+        main:
+            MOVI R0, #-1
+            CMPI R0, #1
+            BHS yes
+            MOVI R1, #0
+            HALT
+        yes:
+            MOVI R1, #1
+            HALT
+        """)
+        assert result.register(1) == 1
+
+    def test_call_return(self):
+        result = run("""
+        main:
+            MOVI R0, #5
+            BL square
+            HALT
+        square:
+            MUL R0, R0, R0
+            RET
+        """)
+        assert result.register(0) == 25
+
+    def test_nested_calls(self):
+        result = run("""
+        main:
+            MOVI R0, #2
+            BL f
+            HALT
+        f:
+            PUSH {LR}
+            BL g
+            ADDI R0, R0, #1
+            POP {LR}
+            RET
+        g:
+            MUL R0, R0, R0
+            RET
+        """)
+        assert result.register(0) == 5
+
+    def test_corrupted_return_address_traps(self):
+        source = """
+        main:
+            BL f
+            HALT
+        f:
+            MOVI LR, #0x1000
+            RET
+        """
+        with pytest.raises(SimulationError):
+            run(source)
+
+    def test_out_of_fuel(self):
+        with pytest.raises(OutOfFuel):
+            run("main: B main\n", max_steps=100)
+
+
+class TestMemory:
+    def test_store_load(self):
+        result = run("""
+        main:
+            LDA R1, cell
+            MOVI R0, #123
+            STR R0, [R1]
+            MOVI R0, #0
+            LDR R0, [R1]
+            HALT
+        .data
+        cell: .word 0
+        """)
+        assert result.register(0) == 123
+
+    def test_initialised_data(self):
+        result = run("""
+        main:
+            LDA R1, value
+            LDR R0, [R1]
+            HALT
+        .data
+        value: .word 77
+        """)
+        assert result.register(0) == 77
+
+    def test_indexed_addressing(self):
+        result = run("""
+        main:
+            LDA R1, arr
+            MOVI R2, #8
+            LDR R0, [R1, R2]
+            HALT
+        .data
+        arr: .word 10, 20, 30
+        """)
+        assert result.register(0) == 30
+
+    def test_unaligned_access_traps(self):
+        with pytest.raises(SimulationError):
+            run("""
+            main:
+                MOVI R1, #0x7001
+                LDR R0, [R1]
+                HALT
+            """)
+
+    def test_write_to_text_traps(self):
+        with pytest.raises(SimulationError):
+            run("""
+            main:
+                MOVI R1, #0x1000
+                MOVI R0, #0
+                STR R0, [R1]
+                HALT
+            """)
+
+    def test_push_pop(self):
+        result = run("""
+        main:
+            MOVI R4, #1
+            MOVI R5, #2
+            PUSH {R4, R5}
+            MOVI R4, #0
+            MOVI R5, #0
+            POP {R4, R5}
+            HALT
+        """)
+        assert result.register(4) == 1
+        assert result.register(5) == 2
+        assert result.register(SP) == STACK_BASE
+
+
+class TestStackTracking:
+    def test_max_stack_usage(self):
+        result = run("""
+        main:
+            PUSH {R4-R7}
+            POP {R4-R7}
+            HALT
+        """)
+        assert result.max_stack_usage == 16
+
+    def test_nested_frames_accumulate(self):
+        result = run("""
+        main:
+            PUSH {R4, LR}
+            BL leaf
+            POP {R4, LR}
+            HALT
+        leaf:
+            PUSH {R4-R7}
+            POP {R4-R7}
+            RET
+        """)
+        assert result.max_stack_usage == 8 + 16
+
+
+class TestTiming:
+    def test_single_instruction_cost(self):
+        # One HALT: 1 base cycle + I-miss penalty on a cold cache.
+        config = MachineConfig.default()
+        result = run("main: HALT\n", config=config)
+        assert result.cycles == 1 + config.icache.miss_penalty
+
+    def test_icache_hits_on_loop(self):
+        config = MachineConfig.default()
+        result = run("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #50
+            BLT loop
+            HALT
+        """, config=config)
+        # After the first iteration every fetch hits.
+        assert result.fetch_misses <= 2   # at most 2 distinct lines
+        assert result.fetch_hits > 100
+
+    def test_taken_branch_penalty(self):
+        config = MachineConfig(
+            icache=CacheConfig(miss_penalty=0),
+            dcache=CacheConfig(miss_penalty=0))
+        taken = run("""
+        main:
+            MOVI R0, #0
+            CMPI R0, #0
+            BEQ target
+            NOP
+        target:
+            HALT
+        """, config=config)
+        not_taken = run("""
+        main:
+            MOVI R0, #0
+            CMPI R0, #1
+            BEQ target
+            NOP
+        target:
+            HALT
+        """, config=config)
+        # Same instruction count except the extra NOP executed when not
+        # taken; taken run pays the branch penalty instead.
+        assert taken.cycles == not_taken.cycles + \
+            config.branch_penalty - 1
+
+    def test_mul_extra_cycles(self):
+        config = MachineConfig(
+            icache=CacheConfig(miss_penalty=0),
+            dcache=CacheConfig(miss_penalty=0))
+        with_mul = run("main: MUL R0, R1, R2\n HALT\n", config=config)
+        with_add = run("main: ADD R0, R1, R2\n HALT\n", config=config)
+        assert with_mul.cycles == with_add.cycles + config.mul_extra
+
+    def test_load_use_stall(self):
+        config = MachineConfig(
+            icache=CacheConfig(miss_penalty=0),
+            dcache=CacheConfig(miss_penalty=0))
+        stalled = run("""
+        main:
+            LDA R1, v
+            LDR R0, [R1]
+            ADDI R0, R0, #1
+            HALT
+        .data
+        v: .word 9
+        """, config=config)
+        spaced = run("""
+        main:
+            LDA R1, v
+            LDR R0, [R1]
+            NOP
+            ADDI R0, R0, #1
+            HALT
+        .data
+        v: .word 9
+        """, config=config)
+        # The NOP adds 1 cycle but removes the 1-cycle stall.
+        assert stalled.cycles == spaced.cycles
+
+    def test_dcache_miss_penalty(self):
+        hot = MachineConfig(icache=CacheConfig(miss_penalty=0),
+                            dcache=CacheConfig(miss_penalty=7))
+        result = run("""
+        main:
+            LDA R1, v
+            LDR R0, [R1]
+            LDR R2, [R1]
+            HALT
+        .data
+        v: .word 1
+        """, config=hot)
+        assert result.data_misses == 1
+        assert result.data_hits == 1
+
+    def test_deterministic_replay(self):
+        source = """
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #20
+            BLT loop
+            HALT
+        """
+        first = run(source)
+        second = run(source)
+        assert first.cycles == second.cycles
+        assert first.registers == second.registers
+
+
+class TestTraces:
+    def test_access_trace_collected(self):
+        result = run("""
+        main:
+            LDA R1, v
+            LDR R0, [R1]
+            STR R0, [R1]
+            HALT
+        .data
+        v: .word 5
+        """, collect_trace=True)
+        loads = [e for e in result.access_trace if e.is_load]
+        stores = [e for e in result.access_trace if not e.is_load]
+        assert len(loads) == 1
+        assert len(stores) == 1
+        assert loads[0].address == stores[0].address
+
+    def test_instruction_counts(self):
+        result = run("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #5
+            BLT loop
+            HALT
+        """)
+        program = assemble("""
+        main:
+            MOVI R0, #0
+        loop:
+            ADDI R0, R0, #1
+            CMPI R0, #5
+            BLT loop
+            HALT
+        """)
+        loop = program.symbols["loop"]
+        assert result.instruction_counts[loop] == 5

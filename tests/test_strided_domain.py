@@ -1,0 +1,254 @@
+"""Unit and property tests for the strided-interval domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import INT_MAX, INT_MIN, StridedInterval, to_signed
+from repro.analysis.strided import StridedInterval as SI
+
+
+def si(lo, hi, stride=1):
+    return SI(lo, hi, stride)
+
+
+small_ints = st.integers(min_value=-300, max_value=300)
+
+
+@st.composite
+def strided(draw):
+    lo = draw(small_ints)
+    count = draw(st.integers(min_value=0, max_value=20))
+    stride = draw(st.integers(min_value=0, max_value=8))
+    if count == 0 or stride == 0:
+        return SI(lo, lo, 0)
+    return SI(lo, lo + count * stride, stride)
+
+
+def members(value, cap=200):
+    values = value.possible_values(cap)
+    assert values is not None
+    return values
+
+
+class TestConstruction:
+    def test_const(self):
+        value = SI.const(7)
+        assert value.as_constant() == 7
+        assert value.stride == 0
+
+    def test_canonicalises_hi_to_phase(self):
+        value = si(0, 10, 4)
+        assert value.hi == 8
+        assert members(value) == [0, 4, 8]
+
+    def test_singleton_collapses_stride(self):
+        assert si(5, 5, 4).stride == 0
+
+    def test_bottom(self):
+        assert si(3, 1).is_bottom()
+
+    def test_contains_respects_phase(self):
+        value = si(1, 9, 2)
+        assert value.contains(3)
+        assert not value.contains(4)
+
+    def test_possible_values_limit(self):
+        value = si(0, 1000, 1)
+        assert value.possible_values(10) is None
+
+
+class TestLattice:
+    def test_join_alignment(self):
+        a, b = si(0, 8, 4), si(2, 10, 4)
+        joined = a.join(b)
+        for x in members(a) + members(b):
+            assert joined.contains(x)
+        assert joined.stride == 2   # gcd(4, 4, |0-2|)
+
+    def test_join_preserves_common_stride(self):
+        a, b = si(0, 16, 4), si(20, 28, 4)
+        assert a.join(b).stride == 4
+
+    def test_meet_aligns_phase(self):
+        a = si(0, 40, 4)
+        b = si(10, 30, 1)
+        met = a.meet(b)
+        assert met.lo == 12
+        assert met.hi == 28
+        assert met.stride == 4
+
+    def test_meet_disjoint_is_bottom(self):
+        assert si(0, 4, 4).meet(si(9, 11, 1)).is_bottom()
+
+    @given(strided(), strided())
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a.leq(joined)
+        assert b.leq(joined)
+
+    @given(strided(), strided(), small_ints)
+    def test_join_soundness(self, a, b, x):
+        if a.contains(x) or b.contains(x):
+            assert a.join(b).contains(x)
+
+    @given(strided(), strided(), small_ints)
+    def test_meet_soundness(self, a, b, x):
+        if a.contains(x) and b.contains(x):
+            assert a.meet(b).contains(x)
+
+    @given(strided(), strided())
+    def test_widen_is_upper_bound(self, a, b):
+        widened = a.widen(b)
+        assert a.leq(widened), (a, b, widened)
+        assert b.leq(widened), (a, b, widened)
+
+    def test_widening_terminates(self):
+        current = si(0, 0, 0)
+        previous = None
+        for i in range(200):
+            previous = current
+            current = current.widen(si(0, 4 * (i + 1), 4))
+            if current == previous:
+                break
+        assert current == previous
+
+    @given(strided(), strided())
+    def test_leq_transitive_with_join(self, a, b):
+        assert a.leq(a)
+        joined = a.join(b)
+        assert joined.join(a) == joined
+
+
+class TestArithmetic:
+    def test_add_keeps_gcd_stride(self):
+        result = si(0, 8, 4).add(si(100, 108, 4))
+        assert result.stride == 4
+        assert (result.lo, result.hi) == (100, 116)
+
+    def test_shl_scales_stride(self):
+        result = si(0, 7, 1).shl(SI.const(2))
+        assert result.stride == 4
+        assert (result.lo, result.hi) == (0, 28)
+
+    def test_mul_by_constant_scales_stride(self):
+        result = si(0, 5, 1).mul(SI.const(8))
+        assert result.stride == 8
+        assert (result.lo, result.hi) == (0, 40)
+
+    def test_overflow_to_top(self):
+        assert si(INT_MAX - 1, INT_MAX, 1).add(SI.const(2)).is_top()
+
+    @given(strided(), strided(), small_ints, small_ints)
+    @settings(max_examples=300)
+    def test_soundness_against_concrete(self, a, b, x, y):
+        if not (a.contains(x) and b.contains(y)):
+            return
+        assert a.add(b).contains(to_signed(x + y))
+        assert a.sub(b).contains(to_signed(x - y))
+        assert a.mul(b).contains(to_signed(x * y))
+        assert a.bitand(b).contains(to_signed(x & y))
+        assert a.bitor(b).contains(to_signed(x | y))
+        assert a.bitxor(b).contains(to_signed(x ^ y))
+
+    @given(strided(), st.integers(min_value=0, max_value=8), small_ints)
+    @settings(max_examples=200)
+    def test_shift_soundness(self, a, shift, x):
+        if not a.contains(x):
+            return
+        amount = SI.const(shift)
+        assert a.shl(amount).contains(to_signed(x << shift))
+        assert a.asr(amount).contains(to_signed(x >> shift))
+
+
+class TestRefinement:
+    def test_refine_lt_snaps_to_phase(self):
+        value = si(0, 28, 4)
+        refined = value.refine_signed("<", SI.const(11))
+        assert refined == si(0, 8, 4)
+
+    def test_refine_ge_snaps_up(self):
+        value = si(0, 28, 4)
+        refined = value.refine_signed(">=", SI.const(5))
+        assert refined.lo == 8
+
+    def test_refine_ne_steps_by_stride(self):
+        value = si(0, 12, 4)
+        assert value.refine_signed("!=", SI.const(0)) == si(4, 12, 4)
+
+    @given(strided(), strided(),
+           st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+           small_ints)
+    @settings(max_examples=300)
+    def test_refinement_soundness(self, a, b, op, x):
+        import operator
+        ops = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+               ">=": operator.ge, "==": operator.eq, "!=": operator.ne}
+        if not a.contains(x) or b.is_bottom():
+            return
+        witnesses = members(b, cap=50) if b.possible_values(50) else \
+            [b.lo, b.hi]
+        if any(ops[op](x, y) for y in witnesses):
+            assert a.refine_signed(op, b).contains(x)
+
+
+class TestEndToEndWithAnalysis:
+    def test_strided_addresses_in_loop(self):
+        from repro.isa import assemble
+        from repro.cfg import build_cfg, expand_task
+        from repro.analysis import analyze_values
+
+        source = """
+        main:
+            MOVI R0, #0
+            LDA R1, arr
+        loop:
+            SHLI R3, R0, #3      ; scale by 8: every other word
+            LDR R2, [R1, R3]
+            ADDI R0, R0, #1
+            CMPI R0, #8
+            BLT loop
+            HALT
+        .data
+        arr: .space 256
+        """
+        graph = expand_task(build_cfg(assemble(source)))
+        values = analyze_values(graph, domain=StridedInterval)
+        loads = [a for a in values.accesses
+                 if a.instruction.opcode.name == "LDRX"]
+        assert loads
+        for access in loads:
+            enumerated = access.address.possible_values(64)
+            assert enumerated is not None
+            # Stride 8: consecutive possible addresses differ by 8.
+            diffs = {b - a for a, b in zip(enumerated, enumerated[1:])}
+            assert diffs == {8}
+
+    def test_wcet_pipeline_works_with_strided_domain(self):
+        from repro.lang import compile_program
+        from repro.sim import run_program
+        from repro.wcet import analyze_wcet
+
+        source = """
+        int a[32];
+        int r;
+        void main() {
+            int i;
+            for (i = 0; i < 16; i = i + 1) {
+                a[i * 2] = i;
+            }
+            r = a[0];
+        }
+        """
+        program = compile_program(source)
+        result = analyze_wcet(program, domain=StridedInterval)
+        execution = run_program(program)
+        assert result.wcet_cycles >= execution.cycles
+
+    def test_strided_never_looser_than_interval_on_wcet(self):
+        from repro.workloads import analyze_workload, get_workload
+        for name in ("matmult", "fir"):
+            workload = get_workload(name)
+            interval = analyze_workload(workload)
+            stride = analyze_workload(workload, domain=StridedInterval)
+            assert stride.wcet_cycles <= interval.wcet_cycles

@@ -1,0 +1,188 @@
+"""Whole-suite soundness tests: for every workload the verified WCET
+and stack bounds must cover every simulated run (S1/S2 at scale)."""
+
+import pytest
+
+from repro.stack import analyze_stack
+from repro.workloads import (WORKLOADS, analyze_workload, get_workload,
+                             observed_worst_case, simulate_workload,
+                             workload_names)
+
+ALL_NAMES = workload_names()
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    """Compile + analyze every workload once per test module."""
+    cache = {}
+    for name in ALL_NAMES:
+        workload = get_workload(name)
+        program = workload.compile()
+        cache[name] = (workload, program,
+                       analyze_workload(workload))
+    return cache
+
+
+class TestCorpusBasics:
+    def test_registry_is_populated(self):
+        assert len(WORKLOADS) >= 12
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("nonexistent")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_compiles_and_halts(self, name):
+        workload = get_workload(name)
+        result = simulate_workload(workload)
+        assert result.halted
+
+
+class TestFunctionalCorrectness:
+    def test_fibcall_result(self):
+        workload = get_workload("fibcall")
+        program = workload.compile()
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        simulator.run()
+        assert simulator.memory[program.symbol_address("g_result")] \
+            == 832040    # fib(30)
+
+    def test_insertsort_sorts(self):
+        workload = get_workload("insertsort")
+        program = workload.compile()
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        simulator.run()
+        base = program.symbol_address("g_a")
+        values = [simulator.memory[base + 4 * i] for i in range(10)]
+        assert values == sorted(values)
+
+    def test_bsort_sorts_random_inputs(self):
+        import random
+        workload = get_workload("bsort")
+        program = workload.compile()
+        rng = random.Random(3)
+        data = [rng.randint(0, 999) for _ in range(12)]
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        base = program.symbol_address("g_a")
+        for i, value in enumerate(data):
+            simulator.memory[base + 4 * i] = value
+        simulator.run()
+        values = [simulator.memory[base + 4 * i] for i in range(12)]
+        assert values == sorted(data)
+
+    def test_matmult_result(self):
+        workload = get_workload("matmult")
+        program = workload.compile()
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        simulator.run()
+        a = list(range(1, 17))
+        b = list(range(16, 0, -1))
+        expected = [
+            sum(a[i * 4 + k] * b[k * 4 + j] for k in range(4))
+            for i in range(4) for j in range(4)]
+        base = program.symbol_address("g_mc")
+        got = [simulator.memory[base + 4 * i] for i in range(16)]
+        assert got == expected
+
+    def test_binary_search_finds(self):
+        workload = get_workload("bs")
+        program = workload.compile()
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        simulator.run()
+        assert simulator.memory[program.symbol_address("g_found")] == 7
+
+    def test_crc_is_deterministic_and_bytewide(self):
+        workload = get_workload("crc")
+        program = workload.compile()
+        from repro.sim import Simulator
+        simulator = Simulator(program)
+        simulator.run()
+        value = simulator.memory[program.symbol_address("g_crc")]
+        assert 0 <= value <= 0xFF
+
+
+class TestWCETSoundnessAcrossCorpus:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_wcet_covers_observed_worst_case(self, name, analyzed):
+        workload, program, result = analyzed[name]
+        observed_cycles, _ = observed_worst_case(
+            workload, program, runs=10)
+        assert result.wcet_cycles >= observed_cycles, (
+            f"{name}: bound {result.wcet_cycles} < observed "
+            f"{observed_cycles}")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_wcet_is_not_absurdly_loose(self, name, analyzed):
+        workload, program, result = analyzed[name]
+        if workload.manual_bounds_in_order \
+                and len(workload.manual_bounds_in_order) > 1:
+            pytest.skip("bound tightness is set by the annotations, "
+                        "not the analysis")
+        observed_cycles, _ = observed_worst_case(
+            workload, program, runs=10)
+        # Generous cap: catches catastrophic precision regressions
+        # while tolerating genuinely data-dependent kernels.
+        assert result.wcet_cycles <= observed_cycles * 6, (
+            f"{name}: bound {result.wcet_cycles} vs observed "
+            f"{observed_cycles}")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_all_loops_bounded(self, name, analyzed):
+        _workload, _program, result = analyzed[name]
+        assert not result.unbounded_loops()
+
+
+class TestStackSoundnessAcrossCorpus:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_stack_bound_covers_observed(self, name, analyzed):
+        workload, program, _result = analyzed[name]
+        stack = analyze_stack(program)
+        _, observed_stack = observed_worst_case(workload, program,
+                                                runs=5)
+        assert stack.bound >= observed_stack
+        assert not stack.overflows
+
+    def test_calltree_stack_is_exact(self):
+        workload = get_workload("calltree")
+        program = workload.compile()
+        stack = analyze_stack(program)
+        execution = simulate_workload(workload, program)
+        assert stack.bound == execution.max_stack_usage
+
+
+class TestTraceLevelVerification:
+    """Corpus-wide S1/S2/S4/S5 via the repro.verify checker, with full
+    cache traces."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_verify_bounds_on_traced_runs(self, name, analyzed):
+        from repro.stack import analyze_stack
+        from repro.verify import BoundChecker, VerificationReport
+        from repro.sim import Simulator
+        import random
+
+        workload, program, wcet = analyzed[name]
+        stack = analyze_stack(program)
+        checker = BoundChecker(program, wcet, stack)
+        report = VerificationReport()
+        rng = random.Random(2024)
+
+        from repro.workloads import random_inputs
+        for run in range(4):
+            simulator = Simulator(program, config=wcet.config,
+                                  collect_trace=True)
+            if run and workload.input_arrays:
+                overrides = random_inputs(workload, rng)
+                for arr, values in overrides.items():
+                    base = program.symbol_address(f"g_{arr}")
+                    for offset, value in enumerate(values):
+                        simulator.memory[base + 4 * offset] = \
+                            value & 0xFFFFFFFF
+            result = simulator.run(max_steps=2_000_000)
+            checker.check_run(result, report)
+        assert report.ok, (name, [str(v) for v in report.violations])

@@ -1,0 +1,171 @@
+"""Unit and property tests for the zone (DBM) relational domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.zone import INF, Zone
+
+N = 3   # variables per test zone
+
+
+class TestConstraints:
+    def test_plain_bounds(self):
+        zone = Zone.top(N).add_upper(0, 10).add_lower(0, 2)
+        assert zone.bounds(0) == (2, 10)
+
+    def test_difference_constraint(self):
+        zone = Zone.top(N).add_difference(0, 1, 5)   # x - y <= 5
+        assert zone.difference_bounds(0, 1)[1] == 5
+
+    def test_transitive_closure(self):
+        # x <= y + 2, y <= 7  ==>  x <= 9.
+        zone = Zone.top(N).add_difference(0, 1, 2).add_upper(1, 7)
+        assert zone.bounds(0)[1] == 9
+
+    def test_inconsistency_is_bottom(self):
+        zone = Zone.top(N).add_upper(0, 3).add_lower(0, 5)
+        assert zone.is_bottom()
+
+    def test_cycle_inconsistency(self):
+        # x - y <= -1 and y - x <= -1 is unsatisfiable.
+        zone = Zone.top(N).add_difference(0, 1, -1) \
+            .add_difference(1, 0, -1)
+        assert zone.is_bottom()
+
+    def test_equality_via_two_differences(self):
+        zone = Zone.top(N).add_difference(0, 1, 0) \
+            .add_difference(1, 0, 0).add_upper(1, 4).add_lower(1, 4)
+        assert zone.bounds(0) == (4, 4)
+
+
+class TestAssignments:
+    def test_assign_constant(self):
+        zone = Zone.top(N).assign_constant(1, 42)
+        assert zone.bounds(1) == (42, 42)
+
+    def test_assign_sum_tracks_relation(self):
+        zone = Zone.top(N).add_upper(0, 10).add_lower(0, 0)
+        zone = zone.assign_sum(1, 0, 3)   # y := x + 3
+        assert zone.bounds(1) == (3, 13)
+        assert zone.difference_bounds(1, 0) == (3, 3)
+
+    def test_shift_preserves_relations(self):
+        zone = Zone.top(N).assign_constant(0, 5).assign_sum(1, 0, 2)
+        zone = zone.shift(0, 10)   # x := x + 10
+        assert zone.bounds(0) == (15, 15)
+        # y unchanged, difference updated.
+        assert zone.bounds(1) == (7, 7)
+
+    def test_forget_erases_only_target(self):
+        zone = Zone.top(N).assign_constant(0, 5).assign_constant(1, 6)
+        zone = zone.forget(0)
+        assert zone.bounds(0) == (-INF, INF)
+        assert zone.bounds(1) == (6, 6)
+
+
+class TestLattice:
+    def test_join_is_hull(self):
+        a = Zone.top(N).assign_constant(0, 1)
+        b = Zone.top(N).assign_constant(0, 5)
+        joined = a.join(b)
+        assert joined.bounds(0) == (1, 5)
+
+    def test_join_keeps_common_relations(self):
+        a = Zone.top(N).add_upper(0, 5).add_difference(0, 1, 0)
+        b = Zone.top(N).add_upper(0, 9).add_difference(0, 1, 0)
+        joined = a.join(b)
+        assert joined.bounds(0)[1] == 9
+        assert joined.difference_bounds(0, 1)[1] == 0
+
+    def test_meet(self):
+        a = Zone.top(N).add_upper(0, 5)
+        b = Zone.top(N).add_lower(0, 3)
+        met = a.meet(b)
+        assert met.bounds(0) == (3, 5)
+
+    def test_widening_stabilises(self):
+        zone = Zone.top(N).assign_constant(0, 0)
+        for step in range(50):
+            grown = Zone.top(N).add_lower(0, 0).add_upper(0, step + 1)
+            widened = zone.widen(grown)
+            if widened.leq(zone) and zone.leq(widened):
+                break
+            zone = widened
+        assert zone.bounds(0) == (0, INF)
+
+    def test_leq(self):
+        small = Zone.top(N).add_upper(0, 3).add_lower(0, 1)
+        big = Zone.top(N).add_upper(0, 10)
+        assert small.leq(big)
+        assert not big.leq(small)
+        assert Zone.bottom(N).leq(small)
+
+
+@st.composite
+def valuations(draw):
+    return [draw(st.integers(-20, 20)) for _ in range(N)]
+
+
+@st.composite
+def zones(draw):
+    zone = Zone.top(N)
+    for _ in range(draw(st.integers(0, 5))):
+        kind = draw(st.integers(0, 2))
+        x = draw(st.integers(0, N - 1))
+        c = draw(st.integers(-15, 15))
+        if kind == 0:
+            zone = zone.add_upper(x, c)
+        elif kind == 1:
+            zone = zone.add_lower(x, c)
+        else:
+            y = draw(st.integers(0, N - 1))
+            if x != y:
+                zone = zone.add_difference(x, y, c)
+    return zone
+
+
+class TestSoundnessProperties:
+    @given(zones(), zones(), valuations())
+    @settings(max_examples=300)
+    def test_join_soundness(self, a, b, values):
+        if a.satisfies(values) or b.satisfies(values):
+            assert a.join(b).satisfies(values)
+
+    @given(zones(), zones(), valuations())
+    @settings(max_examples=300)
+    def test_meet_soundness(self, a, b, values):
+        if a.satisfies(values) and b.satisfies(values):
+            assert a.meet(b).satisfies(values)
+
+    @given(zones(), zones(), valuations())
+    @settings(max_examples=200)
+    def test_widen_is_upper_bound(self, a, b, values):
+        widened = a.widen(b)
+        if a.satisfies(values) or b.satisfies(values):
+            assert widened.satisfies(values)
+
+    @given(zones(), valuations(), st.integers(0, N - 1),
+           st.integers(-10, 10))
+    @settings(max_examples=200)
+    def test_shift_soundness(self, zone, values, x, c):
+        if not zone.satisfies(values):
+            return
+        shifted_values = list(values)
+        shifted_values[x] += c
+        assert zone.shift(x, c).satisfies(shifted_values)
+
+    @given(zones(), valuations(), st.integers(0, N - 1),
+           st.integers(0, N - 1), st.integers(-10, 10))
+    @settings(max_examples=200)
+    def test_assign_sum_soundness(self, zone, values, x, y, c):
+        if not zone.satisfies(values):
+            return
+        new_values = list(values)
+        new_values[x] = values[y] + c
+        assert zone.assign_sum(x, y, c).satisfies(new_values)
+
+    @given(zones(), valuations())
+    @settings(max_examples=200)
+    def test_closure_preserves_concretisation(self, zone, values):
+        assert zone.satisfies(values) == zone.close().satisfies(values)
