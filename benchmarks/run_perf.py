@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Fixpoint-kernel performance harness (CI perf guard).
+
+Runs the E7 scaling family (a pipeline of N filter-stage functions,
+each with its own loop) through the full WCET analysis with both
+fixpoint strategies, asserts the transfer-count budget of the shared
+WTO kernel against the legacy FIFO reference, and appends the run to
+``BENCH_fixpoint.json`` so later PRs can spot regressions in the
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--repeat N] [--json PATH]
+
+Exit status is non-zero if any budget assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from test_e7_scaling import _generate_program      # noqa: E402
+
+from repro.analysis import analyze_values          # noqa: E402
+from repro.analysis.state import (AbstractMemory,  # noqa: E402
+                                  AbstractState)
+from repro.cfg import build_cfg, expand_task       # noqa: E402
+from repro.lang import compile_program             # noqa: E402
+from repro.wcet import analyze_wcet                # noqa: E402
+
+STAGES = (1, 2, 4, 8, 16)
+
+#: Perf budget: on the largest E7 program the WTO kernel must need at
+#: most half the block transfers of the FIFO reference (the headline
+#: acceptance criterion of the kernel PR), and never regress past this.
+TRANSFER_BUDGET_RATIO = 0.5
+
+
+def measure_point(stages: int, repeat: int) -> Dict:
+    source = _generate_program(stages)
+    program = compile_program(source)
+    graph = expand_task(build_cfg(program))
+
+    fifo = analyze_values(graph, strategy="fifo")
+    wto = analyze_values(graph, strategy="wto")
+
+    state_copies_before = AbstractState.copies
+    state_mat_before = AbstractState.materializations
+    memory_copies_before = AbstractMemory.copies
+    memory_mat_before = AbstractMemory.materializations
+    wall_times: List[float] = []
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = analyze_wcet(program)
+        wall_times.append(time.perf_counter() - start)
+    state_copies = AbstractState.copies - state_copies_before
+    state_mat = AbstractState.materializations - state_mat_before
+    memory_copies = AbstractMemory.copies - memory_copies_before
+    memory_mat = AbstractMemory.materializations - memory_mat_before
+
+    point = {
+        "stages": stages,
+        "instructions": result.binary_cfg.total_instructions(),
+        "nodes": graph.node_count(),
+        "edges": graph.edge_count(),
+        "wcet_cycles": result.wcet_cycles,
+        "states_identical": fifo.fixpoint.states_equal(wto.fixpoint),
+        "fifo": fifo.fixpoint.stats.as_dict(),
+        "wto": wto.fixpoint.stats.as_dict(),
+        "cache_stats": {
+            name: stats.as_dict()
+            for name, stats in result.solver_stats.items()
+            if name != "value"},
+        "analyze_wcet_seconds": round(min(wall_times), 4),
+        "value_phase_seconds": round(result.phase_seconds["value"], 4),
+        "state_copies_per_run": state_copies // repeat,
+        "state_materializations_per_run": state_mat // repeat,
+        "memory_copies_per_run": memory_copies // repeat,
+        "memory_materializations_per_run": memory_mat // repeat,
+    }
+    return point
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="wall-clock repetitions per point (min wins)")
+    parser.add_argument("--json", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_fixpoint.json"))
+    args = parser.parse_args(argv)
+
+    points = []
+    header = (f"{'stages':>6} {'nodes':>6} {'fifo xfer':>10} "
+              f"{'wto xfer':>9} {'ratio':>6} {'widen':>6} "
+              f"{'value ms':>9} {'total ms':>9}")
+    print(header)
+    print("-" * len(header))
+    for stages in STAGES:
+        point = measure_point(stages, args.repeat)
+        points.append(point)
+        ratio = point["wto"]["transfers"] / point["fifo"]["transfers"]
+        print(f"{stages:>6} {point['nodes']:>6} "
+              f"{point['fifo']['transfers']:>10} "
+              f"{point['wto']['transfers']:>9} {ratio:>6.2f} "
+              f"{point['wto']['widenings']:>6} "
+              f"{point['value_phase_seconds'] * 1000:>9.1f} "
+              f"{point['analyze_wcet_seconds'] * 1000:>9.1f}")
+
+    failures = []
+    largest = points[-1]
+    ratio = largest["wto"]["transfers"] / largest["fifo"]["transfers"]
+    if ratio > TRANSFER_BUDGET_RATIO:
+        failures.append(
+            f"transfer budget exceeded on {largest['stages']} stages: "
+            f"wto/fifo = {ratio:.2f} > {TRANSFER_BUDGET_RATIO}")
+    for point in points:
+        # Precision guard: the strategies must land on identical entry
+        # states (widening *counts* legitimately differ with iteration
+        # order, so they are recorded but not asserted).
+        if not point["states_identical"]:
+            failures.append(
+                f"fixpoint states diverged between strategies at "
+                f"{point['stages']} stages")
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "transfer_budget_ratio": TRANSFER_BUDGET_RATIO,
+        "points": points,
+        "ok": not failures,
+    }
+    trajectory = {"runs": []}
+    if os.path.exists(args.json):
+        try:
+            with open(args.json) as handle:
+                trajectory = json.load(handle)
+        except (OSError, ValueError):
+            pass
+    trajectory.setdefault("runs", []).append(run)
+    with open(args.json, "w") as handle:
+        json.dump(trajectory, handle, indent=1)
+        handle.write("\n")
+    print(f"\nwrote {args.json} ({len(trajectory['runs'])} runs)")
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("perf budget OK "
+          f"(wto/fifo transfer ratio {ratio:.2f} on largest program)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

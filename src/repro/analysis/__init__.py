@@ -13,6 +13,9 @@ from .interval import Interval
 from .strided import StridedInterval
 from .zone import Zone
 from .loopbounds import (LoopBound, LoopBoundAnalysis, analyze_loop_bounds)
+from .fixpoint import (FixpointKernel, FixpointSemantics, FixpointStats,
+                       WeakTopologicalOrder, WTOComponent, WTOVertex,
+                       weak_topological_order)
 from .solver import FixpointResult, FixpointSolver, collect_thresholds
 from .state import AbstractMemory, AbstractState, FlagsInfo
 from .transfer import (evaluate_condition, refine_by_condition,
@@ -24,6 +27,9 @@ __all__ = [
     "Const", "AbstractValue", "INT_MAX", "INT_MIN", "to_signed",
     "to_unsigned", "Interval", "StridedInterval", "Zone",
     "LoopBound", "LoopBoundAnalysis", "analyze_loop_bounds",
+    "FixpointKernel", "FixpointSemantics", "FixpointStats",
+    "WeakTopologicalOrder", "WTOComponent", "WTOVertex",
+    "weak_topological_order",
     "FixpointResult", "FixpointSolver", "collect_thresholds",
     "AbstractMemory", "AbstractState", "FlagsInfo",
     "evaluate_condition", "refine_by_condition", "transfer_block",

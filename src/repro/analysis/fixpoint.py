@@ -1,0 +1,499 @@
+"""Shared WTO fixpoint kernel for the whole analysis pipeline.
+
+Both value analysis (:mod:`repro.analysis.solver`) and cache analysis
+(:mod:`repro.cache.analysis`) are chaotic-iteration fixpoints over the
+same expanded task graph.  This module provides the one engine both run
+on:
+
+* **Weak topological ordering** (Bourdoncle 1993): a hierarchical
+  ordering of the graph whose components are the cyclic regions.  On
+  reducible graphs the component heads coincide with natural-loop
+  headers; irreducible graphs are handled too (any cycle entered other
+  than through its head still ends up inside a component).
+* **Recursive iteration strategy**: inner components are stabilised
+  before the enclosing component is re-entered, and nodes inside a
+  component are visited in (weak) topological order.  This eliminates
+  the churn of FIFO worklists, which keep re-transferring downstream
+  nodes while an upstream loop is still growing.
+* **Widening only at component heads** — the minimal set of widening
+  points that guarantees termination.
+* **Out-state caching**: the transfer of a node is recomputed only when
+  its entry state actually changed (tracked by a version counter), so
+  stabilisation checks and narrowing passes cost almost no transfers.
+
+The kernel is domain-agnostic: it talks to the abstract domain through
+a small :class:`FixpointSemantics` adapter and to the graph through
+callables, so it works for abstract machine states, abstract cache
+states, and the toy lattices used in its unit tests alike.  All work is
+instrumented through :class:`FixpointStats`, which the benchmark
+harness (``benchmarks/run_perf.py``) records into
+``BENCH_fixpoint.json`` as a regression guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+
+#: Safety valve on total transfer evaluations (shared with the value
+#: analysis; cache fixpoints are far smaller).
+MAX_TRANSFERS = 2_000_000
+
+
+# -- Instrumentation -----------------------------------------------------------
+
+
+@dataclass
+class FixpointStats:
+    """Work counters for one fixpoint run.
+
+    ``transfers`` counts *every* transfer-function evaluation, including
+    the ones spent in narrowing passes — unlike the historical FIFO
+    solver's counter, which silently ignored narrowing.  This makes the
+    number an honest, reproducible cost measure usable as a CI guard.
+    """
+
+    transfers: int = 0
+    joins: int = 0
+    widenings: int = 0
+    narrowings: int = 0
+    leq_calls: int = 0
+    copies: int = 0
+    component_iterations: int = 0
+    wto_components: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "transfers": self.transfers,
+            "joins": self.joins,
+            "widenings": self.widenings,
+            "narrowings": self.narrowings,
+            "leq_calls": self.leq_calls,
+            "copies": self.copies,
+            "component_iterations": self.component_iterations,
+            "wto_components": self.wto_components,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.transfers} transfers, {self.joins} joins, "
+                f"{self.widenings} widenings, {self.leq_calls} leq")
+
+
+# -- Weak topological ordering -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WTOVertex:
+    """A trivial (acyclic) element of a weak topological order."""
+
+    node: Any
+
+
+@dataclass(frozen=True)
+class WTOComponent:
+    """A cyclic element: head followed by the nested sub-ordering."""
+
+    head: Any
+    elements: Tuple[Any, ...]
+
+
+class WeakTopologicalOrder:
+    """Bourdoncle's hierarchical ordering of a directed graph.
+
+    For every edge ``u -> v`` either ``v`` occurs after ``u`` in the
+    linearisation, or ``v`` is the head of a component containing
+    ``u`` — which is exactly what makes the recursive iteration
+    strategy's stabilisation check (head unchanged => component stable)
+    sound.
+    """
+
+    def __init__(self, elements: Sequence[Any]):
+        self.elements: Tuple[Any, ...] = tuple(elements)
+        self._heads: Set[Any] = set()
+        self._linear: List[Any] = []
+        self._component_count = 0
+        self._flatten(self.elements)
+
+    def _flatten(self, elements: Iterable[Any]) -> None:
+        for element in elements:
+            if isinstance(element, WTOVertex):
+                self._linear.append(element.node)
+            else:
+                self._component_count += 1
+                self._heads.add(element.head)
+                self._linear.append(element.head)
+                self._flatten(element.elements)
+
+    @property
+    def heads(self) -> Set[Any]:
+        """Component heads — the widening points."""
+        return self._heads
+
+    def linear_order(self) -> List[Any]:
+        """The total order underlying the WTO (heads precede bodies)."""
+        return list(self._linear)
+
+    @property
+    def component_count(self) -> int:
+        return self._component_count
+
+    def __repr__(self) -> str:
+        return (f"WeakTopologicalOrder({len(self._linear)} nodes, "
+                f"{self._component_count} components)")
+
+
+def weak_topological_order(entry: Any,
+                           successors: Callable[[Any], Iterable[Any]],
+                           sort_key: Optional[Callable[[Any], Any]] = None
+                           ) -> WeakTopologicalOrder:
+    """Compute Bourdoncle's WTO of the graph reachable from ``entry``.
+
+    This is the classic algorithm built on Tarjan's SCC numbering,
+    converted to an explicit stack so deep graphs cannot overflow the
+    Python recursion limit.  ``sort_key`` fixes the successor visit
+    order, making the resulting WTO (and therefore every counter of a
+    kernel run) deterministic across runs.
+    """
+    succs_cache: Dict[Any, List[Any]] = {}
+
+    def succs(v: Any) -> List[Any]:
+        cached = succs_cache.get(v)
+        if cached is None:
+            cached = list(successors(v))
+            if sort_key is not None:
+                cached.sort(key=sort_key)
+            succs_cache[v] = cached
+        return cached
+
+    INFINITE = float("inf")
+    dfn: Dict[Any, Any] = {}
+    num = 0
+    vertex_stack: List[Any] = []
+    top: List[Any] = []   # top-level partition, built back-to-front
+
+    # Explicit call stack.  A frame is a mutable list:
+    #   [node, succ_iterator, head, loop_flag, partition, mode, sub]
+    # mode "visit" is Bourdoncle's visit(); mode "component" re-visits
+    # the just-popped component members into the fresh ``sub`` list.
+    VISIT, COMPONENT = 0, 1
+    frames: List[list] = []
+
+    def push_visit(v: Any, partition: List[Any]) -> None:
+        nonlocal num
+        num += 1
+        dfn[v] = num
+        vertex_stack.append(v)
+        frames.append([v, iter(succs(v)), num, False, partition,
+                       VISIT, None])
+
+    push_visit(entry, top)
+    returned: Optional[Any] = None
+    while frames:
+        frame = frames[-1]
+        v, it, partition, mode = frame[0], frame[1], frame[4], frame[5]
+        if mode == VISIT:
+            if returned is not None:
+                if returned <= frame[2]:
+                    frame[2] = returned
+                    frame[3] = True
+                returned = None
+            descended = False
+            for w in it:
+                d = dfn.get(w, 0)
+                if d == 0:
+                    push_visit(w, partition)
+                    descended = True
+                    break
+                if d <= frame[2]:
+                    frame[2] = d
+                    frame[3] = True
+            if descended:
+                continue
+            head, loop = frame[2], frame[3]
+            if head == dfn[v]:
+                dfn[v] = INFINITE
+                element = vertex_stack.pop()
+                if loop:
+                    while element != v:
+                        dfn[element] = 0
+                        element = vertex_stack.pop()
+                    frame[1] = iter(succs(v))
+                    frame[5] = COMPONENT
+                    frame[6] = []
+                    continue
+                partition.append(WTOVertex(v))
+            frames.pop()
+            returned = head
+        else:
+            returned = None   # sub-visit return values are ignored
+            sub = frame[6]
+            descended = False
+            for w in it:
+                if dfn.get(w, 0) == 0:
+                    push_visit(w, sub)
+                    descended = True
+                    break
+            if descended:
+                continue
+            sub.reverse()
+            partition.append(WTOComponent(v, tuple(sub)))
+            frames.pop()
+            returned = frame[2]
+
+    top.reverse()
+    return WeakTopologicalOrder(top)
+
+
+# -- Semantics adapter ---------------------------------------------------------
+
+
+class FixpointSemantics:
+    """What the kernel needs to know about an abstract domain.
+
+    Subclasses override the hooks; ``transfer`` must return a *fresh*
+    state (it may not mutate its input — both solvers already obey this
+    because their transfer functions copy at block boundaries, which is
+    O(1) under copy-on-write states).
+    """
+
+    #: Whether widening is required for termination (infinite-height
+    #: domains).  Finite lattices (abstract caches) leave this False.
+    widening: bool = False
+
+    def transfer(self, node: Any, state: Any) -> Any:
+        raise NotImplementedError
+
+    def edge_state(self, edge: Any, out_state: Any) -> Optional[Any]:
+        """Specialise a node's out-state for one outgoing edge (e.g.
+        branch-condition refinement).  ``None`` means the edge is
+        infeasible."""
+        return out_state
+
+    def join(self, old: Any, new: Any) -> Any:
+        return old.join(new)
+
+    def widen(self, old: Any, new: Any) -> Any:
+        return old.widen(new)
+
+    def narrow(self, old: Any, new: Any) -> Any:
+        return old.narrow(new)
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return a.leq(b)
+
+    def is_bottom(self, state: Any) -> bool:
+        return state.is_bottom()
+
+    def copy(self, state: Any) -> Any:
+        return state.copy()
+
+
+# -- The kernel ----------------------------------------------------------------
+
+
+class FixpointKernel:
+    """WTO-driven fixpoint iteration with cached out-states.
+
+    Parameters
+    ----------
+    entry:
+        The unique start node; its state is supplied to :meth:`solve`.
+    successor_edges / edge_target:
+        Graph access.  Edges are opaque to the kernel (the semantics
+        adapter interprets them in :meth:`FixpointSemantics.edge_state`).
+    predecessor_edges / edge_source:
+        Only required for :meth:`narrow` (descending passes).
+    widen_delay:
+        Joins absorbed at a component head before widening kicks in.
+    sort_key:
+        Node ordering for deterministic successor visits and WTO
+        construction; defaults to the graph's insertion order.
+    """
+
+    def __init__(self, entry: Any,
+                 successor_edges: Callable[[Any], Iterable[Any]],
+                 edge_target: Callable[[Any], Any],
+                 semantics: FixpointSemantics, *,
+                 widen_delay: int = 0,
+                 sort_key: Optional[Callable[[Any], Any]] = None,
+                 max_transfers: int = MAX_TRANSFERS,
+                 predecessor_edges: Optional[
+                     Callable[[Any], Iterable[Any]]] = None,
+                 edge_source: Optional[Callable[[Any], Any]] = None):
+        self.entry = entry
+        self.semantics = semantics
+        self.widen_delay = widen_delay
+        self.max_transfers = max_transfers
+        self._edge_target = edge_target
+        self._edge_source = edge_source
+        self._predecessor_edges = predecessor_edges
+        self._sort_key = sort_key
+        if sort_key is None:
+            self._succ_edges = successor_edges
+        else:
+            edge_key = lambda e: sort_key(edge_target(e))
+            cache: Dict[Any, List[Any]] = {}
+
+            def sorted_edges(node: Any) -> List[Any]:
+                edges = cache.get(node)
+                if edges is None:
+                    edges = sorted(successor_edges(node), key=edge_key)
+                    cache[node] = edges
+                return edges
+            self._succ_edges = sorted_edges
+        # The WTO walks targets of the (already sorted) edge cache, so
+        # successors are enumerated and ordered only once per node.
+        self.wto = weak_topological_order(
+            entry,
+            lambda n: [edge_target(e) for e in self._succ_edges(n)])
+        self.stats = FixpointStats(wto_components=self.wto.component_count)
+        self._entries: Dict[Any, Any] = {}
+        self._versions: Dict[Any, int] = {}
+        self._out_cache: Dict[Any, Tuple[int, Any]] = {}
+        self._head_visits: Dict[Any, int] = {}
+
+    # -- State bookkeeping -------------------------------------------------
+
+    @property
+    def entry_states(self) -> Dict[Any, Any]:
+        return self._entries
+
+    def _bump(self, node: Any) -> None:
+        self._versions[node] = self._versions.get(node, 0) + 1
+
+    def out_state(self, node: Any) -> Optional[Any]:
+        """The node's out-state, recomputed only when its entry state
+        changed since the last transfer (the version fast path)."""
+        entry = self._entries.get(node)
+        if entry is None or self.semantics.is_bottom(entry):
+            return None
+        version = self._versions.get(node, 0)
+        cached = self._out_cache.get(node)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        out = self.semantics.transfer(node, entry)
+        self.stats.transfers += 1
+        if self.stats.transfers > self.max_transfers:
+            raise RuntimeError("fixpoint exceeded transfer budget")
+        self._out_cache[node] = (version, out)
+        return out
+
+    # -- Ascending phase ---------------------------------------------------
+
+    def solve(self, entry_state: Any) -> Dict[Any, Any]:
+        """Run the ascending iteration to a (post-)fixpoint and return
+        the entry-state map."""
+        self._entries[self.entry] = entry_state
+        self._bump(self.entry)
+        for element in self.wto.elements:
+            self._run_element(element)
+        return self._entries
+
+    def _run_element(self, element: Any) -> None:
+        if isinstance(element, WTOVertex):
+            self._process(element.node)
+        else:
+            self._stabilize(element)
+
+    def _stabilize(self, component: WTOComponent) -> None:
+        """Iterate a component until its head's entry state is stable.
+
+        Every cycle inside the component passes through its head (or
+        the head of a nested component, stabilised recursively), so an
+        unchanged head entry after a full sweep means the whole
+        component is at a fixpoint.
+        """
+        head = component.head
+        while True:
+            before = self._versions.get(head, 0)
+            self.stats.component_iterations += 1
+            self._process(head)
+            for element in component.elements:
+                self._run_element(element)
+            if self._versions.get(head, 0) == before:
+                return
+
+    def _process(self, node: Any) -> None:
+        out = self.out_state(node)
+        if out is None:
+            return
+        semantics = self.semantics
+        heads = self.wto.heads
+        for edge in self._succ_edges(node):
+            state = semantics.edge_state(edge, out)
+            if state is None or semantics.is_bottom(state):
+                continue
+            target = self._edge_target(edge)
+            old = self._entries.get(target)
+            if old is None:
+                self._entries[target] = semantics.copy(state)
+                self.stats.copies += 1
+                self._bump(target)
+                continue
+            new = semantics.join(old, state)
+            self.stats.joins += 1
+            if semantics.widening and target in heads:
+                count = self._head_visits.get(target, 0) + 1
+                self._head_visits[target] = count
+                if count > self.widen_delay:
+                    new = semantics.widen(old, new)
+                    self.stats.widenings += 1
+            self.stats.leq_calls += 1
+            if not semantics.leq(new, old):
+                self._entries[target] = new
+                self._bump(target)
+
+    # -- Descending phase --------------------------------------------------
+
+    def narrow(self, passes: int,
+               entry_inputs: Callable[[Any], List[Any]],
+               order: Optional[Sequence[Any]] = None) -> int:
+        """Bounded narrowing: recompute each node's entry as the join of
+        its predecessors' (cached) out-states, narrowed against the
+        ascending result.  Returns the number of passes that changed
+        anything.
+
+        Because out-states are cached by entry-state version, a pass
+        only pays transfers for nodes whose predecessors actually
+        changed — the historical per-edge recomputation is gone.
+        """
+        if self._predecessor_edges is None or self._edge_source is None:
+            raise ValueError("narrowing requires predecessor access")
+        semantics = self.semantics
+        if order is None:
+            order = self.wto.linear_order()
+        effective = 0
+        for _ in range(passes):
+            changed = False
+            for node in order:
+                current = self._entries.get(node)
+                if current is None:
+                    continue
+                incoming = list(entry_inputs(node))
+                for edge in self._predecessor_edges(node):
+                    out = self.out_state(self._edge_source(edge))
+                    if out is None:
+                        continue
+                    state = semantics.edge_state(edge, out)
+                    if state is None or semantics.is_bottom(state):
+                        continue
+                    incoming.append(state)
+                if not incoming:
+                    continue
+                joined = incoming[0]
+                for other in incoming[1:]:
+                    joined = semantics.join(joined, other)
+                    self.stats.joins += 1
+                narrowed = semantics.narrow(current, joined)
+                self.stats.narrowings += 1
+                self.stats.leq_calls += 2
+                if not (semantics.leq(current, narrowed)
+                        and semantics.leq(narrowed, current)):
+                    self._entries[node] = narrowed
+                    self._bump(node)
+                    changed = True
+            if not changed:
+                break
+            effective += 1
+        return effective

@@ -1,23 +1,35 @@
-"""Worklist fixpoint engine with widening and narrowing.
+"""Value-analysis fixpoint solver with widening and narrowing.
 
 This is the Cousot & Cousot machinery the paper rests on (reference
-[1]): chaotic iteration to a post-fixpoint with widening at loop
-headers, followed by bounded narrowing passes to recover precision.
-Thresholds for widening are harvested from the program's comparison
-immediates, so loop counters stabilise at their tested limits instead
-of jumping to the type bounds (ablation D1).
+[1]): iteration to a post-fixpoint with widening at loop headers,
+followed by bounded narrowing passes to recover precision.  Thresholds
+for widening are harvested from the program's comparison immediates, so
+loop counters stabilise at their tested limits instead of jumping to
+the type bounds (ablation D1).
+
+Iteration itself is delegated to the shared WTO kernel
+(:mod:`repro.analysis.fixpoint`): Bourdoncle's recursive strategy
+stabilises inner loops before re-entering outer ones and widens only at
+component heads, which — together with copy-on-write states and cached
+out-states — replaces the historical FIFO worklist at a fraction of the
+transfer count.  The FIFO engine is retained behind
+``strategy="fifo"`` as a reference implementation for differential
+testing and benchmarking; its counters now also include narrowing
+transfers so the two strategies are compared honestly.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
 
 from ..cfg.expand import NodeId, TaskEdge, TaskGraph
 from ..cfg.loops import LoopForest, find_loops
 from ..isa.instructions import Opcode
 from .domain import AbstractValue
+from .fixpoint import (MAX_TRANSFERS, FixpointKernel, FixpointSemantics,
+                       FixpointStats)
 from .state import AbstractState
 from .transfer import refine_by_condition, transfer_block
 
@@ -27,9 +39,6 @@ DEFAULT_WIDEN_DELAY = 3
 
 #: Narrowing passes after the ascending fixpoint.
 DEFAULT_NARROWING_PASSES = 2
-
-#: Safety valve on total block transfers.
-MAX_TRANSFERS = 2_000_000
 
 
 @dataclass
@@ -44,6 +53,8 @@ class FixpointResult:
     #: for analyses that must distinguish the implicit entry edge from
     #: loop back edges when the entry block heads a loop.
     task_entry_state: Optional[AbstractState] = None
+    #: Full work counters of the solve (kernel instrumentation).
+    stats: Optional[FixpointStats] = None
 
     def state_at(self, node: NodeId) -> Optional[AbstractState]:
         return self.entry_states.get(node)
@@ -52,28 +63,103 @@ class FixpointResult:
         state = self.entry_states.get(node)
         return state is not None and not state.is_bottom()
 
+    def states_equal(self, other: "FixpointResult") -> bool:
+        """Same nodes and lattice-equal entry states (mutual ``leq``) —
+        the notion of precision-neutrality used by the differential
+        tests and the perf harness's CI guard."""
+        if set(self.entry_states) != set(other.entry_states):
+            return False
+        return all(state.leq(other.entry_states[node])
+                   and other.entry_states[node].leq(state)
+                   for node, state in self.entry_states.items())
+
+
+class _ValueSemantics(FixpointSemantics):
+    """Kernel adapter for abstract machine states over a task graph."""
+
+    widening = True
+
+    def __init__(self, graph: TaskGraph, thresholds: Sequence[int]):
+        self.blocks = graph.blocks
+        self.thresholds = thresholds
+
+    def transfer(self, node: NodeId, state: AbstractState) -> AbstractState:
+        return transfer_block(state, self.blocks[node])
+
+    def edge_state(self, edge: TaskEdge,
+                   out_state: AbstractState) -> Optional[AbstractState]:
+        if edge.cond is None:
+            return out_state
+        return refine_by_condition(out_state, edge.cond)
+
+    def widen(self, old: AbstractState,
+              new: AbstractState) -> AbstractState:
+        return old.widen(new, self.thresholds)
+
 
 class FixpointSolver:
-    """Chaotic iteration over a :class:`TaskGraph`."""
+    """Value-analysis fixpoint over a :class:`TaskGraph`.
+
+    ``strategy="wto"`` (default) runs the shared WTO kernel;
+    ``strategy="fifo"`` runs the legacy FIFO worklist for differential
+    testing and perf comparison.
+    """
 
     def __init__(self, graph: TaskGraph,
                  widen_delay: int = DEFAULT_WIDEN_DELAY,
                  narrowing_passes: int = DEFAULT_NARROWING_PASSES,
-                 use_widening_thresholds: bool = True):
+                 use_widening_thresholds: bool = True,
+                 strategy: str = "wto"):
+        if strategy not in ("wto", "fifo"):
+            raise ValueError(f"unknown solver strategy {strategy!r}")
         self.graph = graph
         self.widen_delay = widen_delay
         self.narrowing_passes = narrowing_passes
+        self.strategy = strategy
         self.thresholds = tuple(collect_thresholds(graph)) \
             if use_widening_thresholds else ()
 
     def solve(self, entry_state: AbstractState) -> FixpointResult:
+        if self.strategy == "fifo":
+            return self._solve_fifo(entry_state)
+        return self._solve_wto(entry_state)
+
+    # -- WTO strategy (shared kernel) --------------------------------------
+
+    def _solve_wto(self, entry_state: AbstractState) -> FixpointResult:
+        graph = self.graph
+        loop_forest = find_loops(graph.entry, graph.adjacency())
+        kernel = FixpointKernel(
+            graph.entry, graph.successors, lambda e: e.target,
+            _ValueSemantics(graph, self.thresholds),
+            widen_delay=self.widen_delay,
+            sort_key=TaskGraph.node_key,
+            predecessor_edges=graph.predecessors,
+            edge_source=lambda e: e.source)
+        states = kernel.solve(entry_state)
+        if self.narrowing_passes:
+            entry = graph.entry
+
+            def entry_inputs(node: NodeId) -> List[AbstractState]:
+                return [entry_state] if node == entry else []
+
+            kernel.narrow(self.narrowing_passes, entry_inputs,
+                          order=graph.topological_order())
+        stats = kernel.stats
+        return FixpointResult(states, loop_forest, stats.transfers,
+                              stats.widenings,
+                              task_entry_state=entry_state, stats=stats)
+
+    # -- FIFO strategy (legacy reference) ----------------------------------
+
+    def _solve_fifo(self, entry_state: AbstractState) -> FixpointResult:
         graph = self.graph
         loop_forest = find_loops(graph.entry, graph.adjacency())
         headers = loop_forest.headers()
+        stats = FixpointStats()
 
         states: Dict[NodeId, AbstractState] = {graph.entry: entry_state}
         visits: Dict[NodeId, int] = {}
-        transfers = widenings = 0
 
         worklist = deque([graph.entry])
         queued: Set[NodeId] = {graph.entry}
@@ -84,8 +170,8 @@ class FixpointSolver:
             if state.is_bottom():
                 continue
             out_state = transfer_block(state, graph.blocks[node])
-            transfers += 1
-            if transfers > MAX_TRANSFERS:
+            stats.transfers += 1
+            if stats.transfers > MAX_TRANSFERS:
                 raise RuntimeError("value analysis exceeded transfer budget")
             for edge in graph.successors(node):
                 edge_state = out_state
@@ -97,17 +183,20 @@ class FixpointSolver:
                 old = states.get(target)
                 if old is None:
                     states[target] = edge_state.copy()
+                    stats.copies += 1
                     if target not in queued:
                         worklist.append(target)
                         queued.add(target)
                     continue
                 new = old.join(edge_state)
+                stats.joins += 1
                 if target in headers:
                     count = visits.get(target, 0) + 1
                     visits[target] = count
                     if count > self.widen_delay:
                         new = old.widen(new, self.thresholds)
-                        widenings += 1
+                        stats.widenings += 1
+                stats.leq_calls += 1
                 if not new.leq(old):
                     states[target] = new
                     if target not in queued:
@@ -115,14 +204,16 @@ class FixpointSolver:
                         queued.add(target)
 
         for _ in range(self.narrowing_passes):
-            if not self._narrow_pass(states, entry_state):
+            if not self._narrow_pass(states, entry_state, stats):
                 break
 
-        return FixpointResult(states, loop_forest, transfers, widenings,
-                              task_entry_state=entry_state)
+        return FixpointResult(states, loop_forest, stats.transfers,
+                              stats.widenings,
+                              task_entry_state=entry_state, stats=stats)
 
     def _narrow_pass(self, states: Dict[NodeId, AbstractState],
-                     entry_state: AbstractState) -> bool:
+                     entry_state: AbstractState,
+                     stats: FixpointStats) -> bool:
         """One decreasing pass; returns True if anything changed."""
         graph = self.graph
         changed = False
@@ -139,6 +230,10 @@ class FixpointSolver:
                     continue
                 out_state = transfer_block(pred_state,
                                            graph.blocks[edge.source])
+                stats.transfers += 1
+                if stats.transfers > MAX_TRANSFERS:
+                    raise RuntimeError(
+                        "value analysis exceeded transfer budget")
                 if edge.cond is not None:
                     out_state = refine_by_condition(out_state, edge.cond)
                 if not out_state.is_bottom():
@@ -148,7 +243,10 @@ class FixpointSolver:
             joined = incoming[0]
             for other in incoming[1:]:
                 joined = joined.join(other)
+                stats.joins += 1
             narrowed = states[node].narrow(joined)
+            stats.narrowings += 1
+            stats.leq_calls += 2
             if not states[node].leq(narrowed) \
                     or not narrowed.leq(states[node]):
                 states[node] = narrowed

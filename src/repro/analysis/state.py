@@ -51,17 +51,41 @@ class FlagsInfo:
 
 
 class AbstractMemory:
-    """Partial map from word addresses to abstract values (absent=top)."""
+    """Partial map from word addresses to abstract values (absent=top).
 
-    __slots__ = ("domain", "entries")
+    Copies are copy-on-write: :meth:`copy` shares the entry dict with
+    the original in O(1) and the first mutating operation on either
+    side materialises a private dict.  ``entries`` may therefore be
+    *read* freely but must never be mutated from outside this class.
+    """
+
+    __slots__ = ("domain", "entries", "_shared")
+
+    #: Class-wide instrumentation: COW copies handed out and the number
+    #: that actually had to materialise a private dict.  Recorded by
+    #: ``benchmarks/run_perf.py`` alongside the state-level counters.
+    copies = 0
+    materializations = 0
 
     def __init__(self, domain: Type[AbstractValue],
                  entries: Optional[Dict[int, AbstractValue]] = None):
         self.domain = domain
         self.entries = entries if entries is not None else {}
+        self._shared = False
 
     def copy(self) -> "AbstractMemory":
-        return AbstractMemory(self.domain, dict(self.entries))
+        AbstractMemory.copies += 1
+        self._shared = True
+        clone = AbstractMemory(self.domain, self.entries)
+        clone._shared = True
+        return clone
+
+    def _materialize(self) -> None:
+        """Give this memory a private entry dict before mutating."""
+        if self._shared:
+            self.entries = dict(self.entries)
+            self._shared = False
+            AbstractMemory.materializations += 1
 
     # -- Accesses -------------------------------------------------------------
 
@@ -89,55 +113,92 @@ class AbstractMemory:
             return
         constant = address.as_constant()
         if constant is not None:
+            self._materialize()
             self.entries[_align(constant)] = value
             return
         lo, hi = address.signed_bounds()
         if hi - lo > WEAK_UPDATE_LIMIT:
             self._havoc(lo, hi)
             return
-        for word in range(_align(lo), hi + 1, 4):
-            old = self.entries.get(word)
-            if old is not None:
-                self.entries[word] = old.join(value)
+        words = [word for word in range(_align(lo), hi + 1, 4)
+                 if word in self.entries]
+        if not words:
+            return      # nothing tracked in range: keep sharing
+        self._materialize()
+        for word in words:
+            self.entries[word] = self.entries[word].join(value)
 
     def _havoc(self, lo: int, hi: int) -> None:
-        for word in [w for w in self.entries if lo - 3 <= w <= hi]:
+        doomed = [w for w in self.entries if lo - 3 <= w <= hi]
+        if not doomed:
+            return
+        self._materialize()
+        for word in doomed:
             del self.entries[word]
 
     # -- Lattice ----------------------------------------------------------------
 
+    def same_entries(self, other: "AbstractMemory") -> bool:
+        """Structural fingerprint: sharing the entry dict (as COW copies
+        do until one side mutates) proves the memories are equal."""
+        return self.entries is other.entries
+
     def join(self, other: "AbstractMemory") -> "AbstractMemory":
+        if self.same_entries(other):
+            return self.copy()
         merged = {}
+        get = other.entries.get
         for word, value in self.entries.items():
-            other_value = other.entries.get(word)
+            other_value = get(word)
             if other_value is not None:
-                merged[word] = value.join(other_value)
+                # Identity fast path: abstract values are immutable and
+                # COW propagation shares them, so `x is y` proves x == y.
+                merged[word] = value if value is other_value \
+                    else value.join(other_value)
         return AbstractMemory(self.domain, merged)
 
     def widen(self, other: "AbstractMemory",
               thresholds: Sequence[int] = ()) -> "AbstractMemory":
+        if self.same_entries(other):
+            return self.copy()
         merged = {}
+        get = other.entries.get
         for word, value in self.entries.items():
-            other_value = other.entries.get(word)
+            other_value = get(word)
             if other_value is not None:
-                merged[word] = value.widen(other_value, thresholds)
+                merged[word] = value if value is other_value \
+                    else value.widen(other_value, thresholds)
         return AbstractMemory(self.domain, merged)
 
     def narrow(self, other: "AbstractMemory") -> "AbstractMemory":
+        if self.same_entries(other):
+            return self.copy()
         merged = dict(other.entries)
+        get = other.entries.get
         for word, value in self.entries.items():
-            other_value = other.entries.get(word)
-            merged[word] = value.narrow(other_value) \
-                if other_value is not None else value
+            other_value = get(word)
+            if other_value is None or value is other_value:
+                merged[word] = value
+            else:
+                merged[word] = value.narrow(other_value)
         return AbstractMemory(self.domain, merged)
 
     def leq(self, other: "AbstractMemory") -> bool:
+        """Partial order with absent-means-top on *both* sides: entries
+        of ``self`` that ``other`` does not track are below other's
+        implicit top and never fail the comparison; entries of ``other``
+        that ``self`` does not track require other's value to be top.
+        (Pinned by a regression test — the COW fast path below depends
+        on this order being reflexive.)"""
+        if self.same_entries(other):
+            return True
+        get = self.entries.get
         for word, other_value in other.entries.items():
-            value = self.entries.get(word)
+            value = get(word)
             if value is None:
                 if not other_value.is_top():
                     return False
-            elif not value.leq(other_value):
+            elif value is not other_value and not value.leq(other_value):
                 return False
         return True
 
@@ -165,7 +226,12 @@ class AbstractState:
     """
 
     __slots__ = ("domain", "regs", "flags", "memory", "aliases",
-                 "_bottom")
+                 "_bottom", "_shared")
+
+    #: Class-wide instrumentation: state copies handed out (all O(1)
+    #: under COW) and the number that had to materialise registers.
+    copies = 0
+    materializations = 0
 
     def __init__(self, domain: Type[AbstractValue],
                  regs: Optional[List[AbstractValue]] = None,
@@ -182,6 +248,7 @@ class AbstractState:
         #: reg -> (base_reg, offset): reg == base_reg + offset holds.
         self.aliases = aliases if aliases is not None else {}
         self._bottom = bottom
+        self._shared = False
 
     # -- Construction ------------------------------------------------------------
 
@@ -211,9 +278,23 @@ class AbstractState:
         return cls(domain, bottom=True)
 
     def copy(self) -> "AbstractState":
-        return AbstractState(self.domain, list(self.regs), self.flags,
-                             self.memory.copy(), dict(self.aliases),
-                             self._bottom)
+        """O(1) copy-on-write copy: registers, aliases, and memory are
+        shared with the original until either side mutates."""
+        AbstractState.copies += 1
+        self._shared = True
+        clone = AbstractState(self.domain, self.regs, self.flags,
+                              self.memory.copy(), self.aliases,
+                              self._bottom)
+        clone._shared = True
+        return clone
+
+    def _materialize(self) -> None:
+        """Privatise the register file and alias map before mutating."""
+        if self._shared:
+            self.regs = list(self.regs)
+            self.aliases = dict(self.aliases)
+            self._shared = False
+            AbstractState.materializations += 1
 
     # -- Registers ------------------------------------------------------------------
 
@@ -222,6 +303,7 @@ class AbstractState:
 
     def set(self, reg: int, value: AbstractValue) -> None:
         """Write a register, invalidating flag and alias links to it."""
+        self._materialize()
         self.regs[reg] = value
         if self.flags is not None:
             self.flags = self.flags.invalidate_register(reg)
@@ -233,11 +315,13 @@ class AbstractState:
     def set_alias(self, reg: int, base: int, offset: int) -> None:
         """Record ``reg == base + offset`` (call after :meth:`set`)."""
         if reg != base:
+            self._materialize()
             self.aliases[reg] = (base, offset)
 
     def refine_register(self, reg: int, value: AbstractValue) -> None:
         """Meet a register with a refined value, propagating through
         difference aliases one hop in each direction."""
+        self._materialize()
         refined = self.regs[reg].meet(value)
         self.regs[reg] = refined
         alias = self.aliases.get(reg)
@@ -260,12 +344,27 @@ class AbstractState:
     def is_bottom(self) -> bool:
         return self._bottom or any(r.is_bottom() for r in self.regs)
 
+    def same_structure(self, other: "AbstractState") -> bool:
+        """Structural fingerprint: two states sharing all underlying
+        containers (as COW copies do until mutated) are equal, so
+        ``join``/``widen``/``narrow``/``leq`` can short-circuit."""
+        if self is other:
+            return True
+        return (self._bottom == other._bottom
+                and self.regs is other.regs
+                and self.flags is other.flags
+                and self.aliases is other.aliases
+                and self.memory.same_entries(other.memory))
+
     def join(self, other: "AbstractState") -> "AbstractState":
+        if self.same_structure(other):
+            return self.copy()
         if self.is_bottom():
             return other
         if other.is_bottom():
             return self
-        regs = [a.join(b) for a, b in zip(self.regs, other.regs)]
+        regs = [a if a is b else a.join(b)
+                for a, b in zip(self.regs, other.regs)]
         flags = self.flags if self._flags_compatible(other) else None
         if flags is not None and other.flags is not None:
             flags = FlagsInfo(self.flags.left.join(other.flags.left),
@@ -278,11 +377,15 @@ class AbstractState:
 
     def widen(self, other: "AbstractState",
               thresholds: Sequence[int] = ()) -> "AbstractState":
+        if self.same_structure(other):
+            result = self.copy()
+            result.flags = None     # widening always drops flags
+            return result
         if self.is_bottom():
             return other
         if other.is_bottom():
             return self
-        regs = [a.widen(b, thresholds)
+        regs = [a if a is b else a.widen(b, thresholds)
                 for a, b in zip(self.regs, other.regs)]
         # Flags are block-local derived information; dropping them at
         # widening points is sound and guarantees termination.  Aliases
@@ -295,20 +398,26 @@ class AbstractState:
                              aliases)
 
     def narrow(self, other: "AbstractState") -> "AbstractState":
+        if self.same_structure(other):
+            return self.copy()
         if self.is_bottom() or other.is_bottom():
             return other
-        regs = [a.narrow(b) for a, b in zip(self.regs, other.regs)]
+        regs = [a if a is b else a.narrow(b)
+                for a, b in zip(self.regs, other.regs)]
         aliases = {reg: link for reg, link in self.aliases.items()
                    if other.aliases.get(reg) == link}
         return AbstractState(self.domain, regs, other.flags,
                              self.memory.narrow(other.memory), aliases)
 
     def leq(self, other: "AbstractState") -> bool:
+        if self.same_structure(other):
+            return True
         if self.is_bottom():
             return True
         if other.is_bottom():
             return False
-        if not all(a.leq(b) for a, b in zip(self.regs, other.regs)):
+        if not all(a is b or a.leq(b)
+                   for a, b in zip(self.regs, other.regs)):
             return False
         if other.flags is not None and self.flags is None:
             return False

@@ -206,18 +206,20 @@ def analyze_values(graph: TaskGraph,
                        Dict[int, Tuple[int, int]]] = None,
                    widen_delay: int = DEFAULT_WIDEN_DELAY,
                    narrowing_passes: int = DEFAULT_NARROWING_PASSES,
-                   use_widening_thresholds: bool = True
-                   ) -> ValueAnalysisResult:
+                   use_widening_thresholds: bool = True,
+                   strategy: str = "wto") -> ValueAnalysisResult:
     """Run value analysis on a task (phase 2 of the aiT pipeline).
 
     ``register_ranges`` corresponds to aiT's annotations constraining
-    input registers at task entry.
+    input registers at task entry.  ``strategy`` selects the fixpoint
+    engine: the shared WTO kernel (default) or the legacy FIFO worklist
+    (kept for differential testing and benchmarking).
     """
     program = graph.binary.program
     entry_state = AbstractState.entry_state(
         domain, program.memory_map.stack_base, program.initial_memory(),
         register_ranges)
     solver = FixpointSolver(graph, widen_delay, narrowing_passes,
-                            use_widening_thresholds)
+                            use_widening_thresholds, strategy=strategy)
     fixpoint = solver.solve(entry_state)
     return ValueAnalysisResult(graph, fixpoint, domain)

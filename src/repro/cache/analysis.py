@@ -11,7 +11,6 @@ ablation D4).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +18,8 @@ from ..cfg.expand import NodeId, TaskGraph
 from ..isa.instructions import Instruction
 from .abstract import Classification, TripleCacheState
 from .config import CacheConfig
+from ..analysis.fixpoint import (FixpointKernel, FixpointSemantics,
+                                 FixpointStats)
 from ..analysis.valueanalysis import MemoryAccess, ValueAnalysisResult
 
 #: An access covering more than this many candidate lines is treated as
@@ -72,35 +73,51 @@ class ClassificationStats:
         }[outcome] / self.total
 
 
+class _CacheSemantics(FixpointSemantics):
+    """Kernel adapter for abstract cache states.
+
+    The must/may/persistence lattices are finite, so no widening (and
+    no narrowing) is needed; the WTO recursive strategy alone brings
+    each loop to its fixpoint before downstream blocks are visited.
+    """
+
+    widening = False
+
+    def __init__(self, fixpoint: "CacheFixpoint"):
+        self.fixpoint = fixpoint
+
+    def transfer(self, node: NodeId,
+                 state: TripleCacheState) -> TripleCacheState:
+        return self.fixpoint.transfer(state.copy(), node)
+
+    def is_bottom(self, state: TripleCacheState) -> bool:
+        return False    # the cold cache is the least element
+
+
 class CacheFixpoint:
-    """Generic must/may/persistence fixpoint over the task graph."""
+    """Generic must/may/persistence fixpoint over the task graph.
+
+    Runs on the shared WTO kernel (:mod:`repro.analysis.fixpoint`) —
+    the same engine as value analysis — instead of a private FIFO
+    worklist; ``stats`` carries the kernel's work counters after
+    :meth:`solve`.
+    """
 
     def __init__(self, graph: TaskGraph, config: CacheConfig,
                  accesses_of: Dict[NodeId, List[AccessSpec]]):
         self.graph = graph
         self.config = config
         self.accesses_of = accesses_of
+        self.stats: Optional[FixpointStats] = None
 
     def solve(self) -> Dict[NodeId, TripleCacheState]:
         """Entry cache state per node, starting from a cold cache."""
         graph = self.graph
-        states: Dict[NodeId, TripleCacheState] = {
-            graph.entry: TripleCacheState(self.config)}
-        worklist = deque([graph.entry])
-        queued = {graph.entry}
-        while worklist:
-            node = worklist.popleft()
-            queued.discard(node)
-            out_state = self.transfer(states[node].copy(), node)
-            for edge in graph.successors(node):
-                target = edge.target
-                old = states.get(target)
-                new = out_state if old is None else old.join(out_state)
-                if old is None or not new.leq(old):
-                    states[target] = new.copy() if old is None else new
-                    if target not in queued:
-                        worklist.append(target)
-                        queued.add(target)
+        kernel = FixpointKernel(
+            graph.entry, graph.successors, lambda e: e.target,
+            _CacheSemantics(self), sort_key=TaskGraph.node_key)
+        states = kernel.solve(TripleCacheState(self.config))
+        self.stats = kernel.stats
         return states
 
     def transfer(self, state: TripleCacheState,
@@ -145,6 +162,8 @@ class ICacheResult:
     config: CacheConfig
     classifications: Dict[NodeId, List[Classification]]
     stats: ClassificationStats
+    #: Work counters of the underlying fixpoint (shared WTO kernel).
+    fixpoint_stats: Optional[FixpointStats] = None
 
     def for_node(self, node: NodeId) -> List[Classification]:
         return self.classifications.get(node, [])
@@ -163,7 +182,8 @@ def analyze_icache(graph: TaskGraph, config: CacheConfig) -> ICacheResult:
     for outcomes in classifications.values():
         for outcome in outcomes:
             stats.record(outcome)
-    return ICacheResult(config, classifications, stats)
+    return ICacheResult(config, classifications, stats,
+                        fixpoint_stats=fixpoint.stats)
 
 
 # -- Data cache ----------------------------------------------------------------------
@@ -184,6 +204,8 @@ class DCacheResult:
     config: CacheConfig
     classified: Dict[NodeId, List[ClassifiedAccess]]
     stats: ClassificationStats
+    #: Work counters of the underlying fixpoint (shared WTO kernel).
+    fixpoint_stats: Optional[FixpointStats] = None
 
     def for_node(self, node: NodeId) -> List[ClassifiedAccess]:
         return self.classified.get(node, [])
@@ -247,4 +269,5 @@ def analyze_dcache(graph: TaskGraph, config: CacheConfig,
             items.append(ClassifiedAccess(access, outcome))
             stats.record(outcome)
         classified[node] = items
-    return DCacheResult(config, classified, stats)
+    return DCacheResult(config, classified, stats,
+                        fixpoint_stats=fixpoint.stats)

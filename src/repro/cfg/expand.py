@@ -59,8 +59,26 @@ class TaskGraph:
         self._succs: Dict[NodeId, List[TaskEdge]] = {}
         self._preds: Dict[NodeId, List[TaskEdge]] = {}
         self.entry: Optional[NodeId] = None
+        # Derived-structure caches (topological order, adjacency).
+        # The graph is effectively immutable once expand_task returns,
+        # so every analysis phase shares them instead of recomputing
+        # per narrowing pass / per solver.  (The predecessor index
+        # itself is prebuilt in ``_preds`` during construction and
+        # served by :meth:`predecessors`.)
+        self._topo_cache: Optional[List[NodeId]] = None
+        self._adjacency_cache: Optional[Dict[NodeId, List[NodeId]]] = None
+
+    @staticmethod
+    def node_key(node: NodeId) -> Tuple[Context, int]:
+        """Deterministic total order on nodes (for reproducible
+        worklist iteration and WTO construction)."""
+        return (node.context, node.block)
 
     # -- Construction -------------------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._adjacency_cache = None
 
     def _add_node(self, node: NodeId, block: BasicBlock,
                   function: int) -> None:
@@ -68,10 +86,12 @@ class TaskGraph:
         self.function_of[node] = function
         self._succs.setdefault(node, [])
         self._preds.setdefault(node, [])
+        self._invalidate_caches()
 
     def _add_edge(self, edge: TaskEdge) -> None:
         self._succs[edge.source].append(edge)
         self._preds[edge.target].append(edge)
+        self._invalidate_caches()
 
     # -- Queries -------------------------------------------------------------
 
@@ -89,9 +109,15 @@ class TaskGraph:
         return [node for node, edges in self._succs.items() if not edges]
 
     def adjacency(self) -> Dict[NodeId, List[NodeId]]:
-        """Successor map in plain-node form (for dominators/loops)."""
-        return {node: [e.target for e in edges]
+        """Successor map in plain-node form (for dominators/loops).
+
+        Cached; callers must treat the result as read-only.
+        """
+        if self._adjacency_cache is None:
+            self._adjacency_cache = {
+                node: [e.target for e in edges]
                 for node, edges in self._succs.items()}
+        return self._adjacency_cache
 
     def function_name(self, node: NodeId) -> str:
         return self.binary.functions[self.function_of[node]].name
@@ -110,7 +136,16 @@ class TaskGraph:
 
     def topological_order(self) -> List[NodeId]:
         """Reverse postorder from the entry (a topological order of the
-        acyclic condensation; loop headers precede their bodies)."""
+        acyclic condensation; loop headers precede their bodies).
+
+        Cached after the first call (it used to be recomputed inside
+        every narrowing pass); callers must treat it as read-only.
+        """
+        if self._topo_cache is None:
+            self._topo_cache = self._compute_topological_order()
+        return self._topo_cache
+
+    def _compute_topological_order(self) -> List[NodeId]:
         visited: Set[NodeId] = {self.entry}
         order: List[NodeId] = []
         stack = [(self.entry, iter(self._succs[self.entry]))]

@@ -98,6 +98,10 @@ def wcet_report(result: WCETResult,
     for phase, seconds in result.phase_seconds.items():
         out(f"   {phase:<12} {seconds * 1000:8.2f} ms")
     out(f"   {'total':<12} {result.total_seconds * 1000:8.2f} ms")
+    if result.solver_stats:
+        out("-- Fixpoint work (shared WTO kernel)")
+        for phase, stats in result.solver_stats.items():
+            out(f"   {phase:<12} {stats}")
     out("=" * 66)
     return "\n".join(lines) + "\n"
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Type
 
 from ..analysis.domain import AbstractValue
+from ..analysis.fixpoint import FixpointStats
 from ..analysis.interval import Interval
 from ..analysis.loopbounds import LoopBound, analyze_loop_bounds
 from ..analysis.valueanalysis import ValueAnalysisResult, analyze_values
@@ -43,6 +44,10 @@ class WCETResult:
     timing: TimingModel
     path: PathAnalysisResult
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Fixpoint work counters per solver phase ("value", "icache",
+    #: "dcache") — the shared WTO kernel's instrumentation, alongside
+    #: the wall-clock numbers in :attr:`phase_seconds`.
+    solver_stats: Dict[str, FixpointStats] = field(default_factory=dict)
 
     @property
     def wcet_cycles(self) -> int:
@@ -141,5 +146,13 @@ def analyze_wcet(program: Program,
         path = analyze_paths(graph, timing, loop_bounds, values,
                              use_infeasible_paths, integer)
 
+    solver_stats = {}
+    if values.fixpoint.stats is not None:
+        solver_stats["value"] = values.fixpoint.stats
+    if icache.fixpoint_stats is not None:
+        solver_stats["icache"] = icache.fixpoint_stats
+    if dcache.fixpoint_stats is not None:
+        solver_stats["dcache"] = dcache.fixpoint_stats
     return WCETResult(program, config, binary_cfg, graph, values,
-                      loop_bounds, icache, dcache, timing, path, phases)
+                      loop_bounds, icache, dcache, timing, path, phases,
+                      solver_stats=solver_stats)

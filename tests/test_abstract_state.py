@@ -210,3 +210,121 @@ class TestStateLattice:
         b = fresh_state(R1=(0, 4))
         widened = a.widen(b)
         assert widened.flags is None
+
+
+class TestMemoryPartialOrder:
+    """Regression pins for AbstractMemory.leq: an absent address means
+    *top* on BOTH sides of the comparison.  The copy-on-write
+    structural fast path (shared entry dict => leq) is only sound if
+    this order is reflexive, and the fixpoint kernel's convergence
+    check relies on the asymmetric absent-entry handling below."""
+
+    def test_absent_on_right_means_top_accepts_anything(self):
+        tracked = AbstractMemory(Interval)
+        tracked.store(Interval.const(0x8000), Interval(0, 5))
+        empty = AbstractMemory(Interval)
+        # {0x8000: [0,5]} <= {} because the right side is all-top.
+        assert tracked.leq(empty)
+
+    def test_absent_on_left_means_top_fails_bounded_right(self):
+        tracked = AbstractMemory(Interval)
+        tracked.store(Interval.const(0x8000), Interval(0, 5))
+        empty = AbstractMemory(Interval)
+        # {} is all-top, which is NOT below a bounded entry.
+        assert not empty.leq(tracked)
+
+    def test_absent_left_accepts_explicit_top_right(self):
+        explicit_top = AbstractMemory(Interval)
+        explicit_top.entries[0x8000] = Interval.top()
+        empty = AbstractMemory(Interval)
+        # {} <= {0x8000: top}: implicit and explicit top coincide.
+        assert empty.leq(explicit_top)
+        assert explicit_top.leq(empty)
+
+    def test_disjoint_tracked_words_are_asymmetric(self):
+        a = AbstractMemory(Interval)
+        a.store(Interval.const(0x8000), Interval(0, 5))
+        b = AbstractMemory(Interval)
+        b.store(Interval.const(0x9000), Interval(0, 5))
+        # Each side's extra word is below the other's implicit top only
+        # when the *other* side demands nothing non-top of it.
+        assert not a.leq(b)     # a lacks bounded 0x9000
+        assert not b.leq(a)     # b lacks bounded 0x8000
+
+    def test_reflexive_and_pointwise(self):
+        a = AbstractMemory(Interval)
+        a.store(Interval.const(0x8000), Interval(2, 3))
+        assert a.leq(a)
+        wider = AbstractMemory(Interval)
+        wider.store(Interval.const(0x8000), Interval(0, 9))
+        assert a.leq(wider)
+        assert not wider.leq(a)
+
+    def test_join_drops_words_absent_in_either_side(self):
+        a = AbstractMemory(Interval)
+        a.store(Interval.const(0x8000), Interval(0, 5))
+        a.store(Interval.const(0x8004), Interval(1, 1))
+        b = AbstractMemory(Interval)
+        b.store(Interval.const(0x8000), Interval(3, 7))
+        joined = a.join(b)
+        assert joined.entries.get(0x8000) == Interval(0, 7)
+        # 0x8004 is top in b, so it must be top (absent) in the join.
+        assert 0x8004 not in joined.entries
+
+
+class TestCopyOnWrite:
+    """AbstractState/AbstractMemory copies are O(1) and share storage
+    until one side mutates."""
+
+    def test_memory_copy_shares_until_store(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(1))
+        clone = memory.copy()
+        assert clone.entries is memory.entries
+        clone.store(Interval.const(0x8004), Interval.const(2))
+        assert clone.entries is not memory.entries
+        assert 0x8004 not in memory.entries
+        assert memory.load(Interval.const(0x8000)) == Interval.const(1)
+
+    def test_original_can_mutate_after_copy_without_leaking(self):
+        memory = AbstractMemory(Interval)
+        memory.store(Interval.const(0x8000), Interval.const(1))
+        clone = memory.copy()
+        memory.store(Interval.const(0x8000), Interval.const(9))
+        assert clone.load(Interval.const(0x8000)) == Interval.const(1)
+
+    def test_state_copy_shares_registers_until_set(self):
+        state = fresh_state(R1=(0, 3))
+        clone = state.copy()
+        assert clone.regs is state.regs
+        clone.set(2, Interval.const(7))
+        assert clone.regs is not state.regs
+        assert state.get(2).is_top()
+        assert clone.get(1) == Interval(0, 3)
+
+    def test_alias_maps_do_not_leak_across_copies(self):
+        state = fresh_state(R1=(0, 3))
+        state.set(2, state.get(1))
+        state.set_alias(2, 1, 0)
+        clone = state.copy()
+        clone.set(2, Interval.const(5))     # drops the alias in clone
+        assert state.aliases.get(2) == (1, 0)
+        assert 2 not in clone.aliases
+
+    def test_refine_register_materialises(self):
+        state = fresh_state(R1=(0, 10))
+        clone = state.copy()
+        clone.refine_register(1, Interval(0, 4))
+        assert clone.get(1) == Interval(0, 4)
+        assert state.get(1) == Interval(0, 10)
+
+    def test_same_structure_fast_paths(self):
+        state = fresh_state(R1=(0, 3))
+        clone = state.copy()
+        assert state.same_structure(clone)
+        assert state.leq(clone) and clone.leq(state)
+        joined = state.join(clone)
+        assert joined.leq(state) and state.leq(joined)
+        clone.set(1, Interval(0, 99))
+        assert not state.same_structure(clone)
+        assert state.get(1) == Interval(0, 3)
