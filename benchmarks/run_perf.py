@@ -6,7 +6,10 @@ each with its own loop) through the full WCET analysis with both
 fixpoint strategies, asserts the transfer-count budget of the shared
 WTO kernel against the legacy FIFO reference, and appends the run to
 ``BENCH_fixpoint.json`` so later PRs can spot regressions in the
-trajectory.
+trajectory.  Each point also records the per-phase wall clock of the
+analysis and the expanded-graph size (contexts/nodes/edges) under
+every context policy, so context-explosion regressions are visible
+across PRs.
 
 Usage::
 
@@ -32,11 +35,16 @@ from test_e7_scaling import _generate_program      # noqa: E402
 from repro.analysis import analyze_values          # noqa: E402
 from repro.analysis.state import (AbstractMemory,  # noqa: E402
                                   AbstractState)
-from repro.cfg import build_cfg, expand_task       # noqa: E402
+from repro.cfg import (VIVU, FullCallString,       # noqa: E402
+                       KLimitedCallString, build_cfg, expand_task)
 from repro.lang import compile_program             # noqa: E402
 from repro.wcet import analyze_wcet                # noqa: E402
 
 STAGES = (1, 2, 4, 8, 16)
+
+#: Context policies whose expansion footprint every point records
+#: (context-explosion regression guard).
+POLICIES = (FullCallString(), KLimitedCallString(2), VIVU(peel=1))
 
 #: Perf budget: on the largest E7 program the WTO kernel must need at
 #: most half the block transfers of the FIFO reference (the headline
@@ -47,7 +55,19 @@ TRANSFER_BUDGET_RATIO = 0.5
 def measure_point(stages: int, repeat: int) -> Dict:
     source = _generate_program(stages)
     program = compile_program(source)
-    graph = expand_task(build_cfg(program))
+    binary = build_cfg(program)
+    graph = expand_task(binary)
+
+    contexts_by_policy = {}
+    for policy in POLICIES:
+        start = time.perf_counter()
+        expanded = expand_task(binary, policy=policy)
+        contexts_by_policy[policy.describe()] = {
+            "contexts": len(expanded.contexts()),
+            "nodes": expanded.node_count(),
+            "edges": expanded.edge_count(),
+            "expand_seconds": round(time.perf_counter() - start, 4),
+        }
 
     fifo = analyze_values(graph, strategy="fifo")
     wto = analyze_values(graph, strategy="wto")
@@ -82,6 +102,10 @@ def measure_point(stages: int, repeat: int) -> Dict:
             if name != "value"},
         "analyze_wcet_seconds": round(min(wall_times), 4),
         "value_phase_seconds": round(result.phase_seconds["value"], 4),
+        "phase_seconds": {phase: round(seconds, 4)
+                          for phase, seconds
+                          in result.phase_seconds.items()},
+        "contexts_by_policy": contexts_by_policy,
         "state_copies_per_run": state_copies // repeat,
         "state_materializations_per_run": state_mat // repeat,
         "memory_copies_per_run": memory_copies // repeat,
@@ -130,6 +154,14 @@ def main(argv=None) -> int:
         if not point["states_identical"]:
             failures.append(
                 f"fixpoint states diverged between strategies at "
+                f"{point['stages']} stages")
+        # Context-explosion guard: k-limiting must never expand the
+        # graph beyond the full-call-string baseline.
+        sizes = point["contexts_by_policy"]
+        if sizes["k-callstring(k=2)"]["nodes"] \
+                > sizes["full-callstring"]["nodes"]:
+            failures.append(
+                f"k-limited expansion larger than full call strings at "
                 f"{point['stages']} stages")
 
     run = {

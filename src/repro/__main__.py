@@ -15,6 +15,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from .cfg.contexts import make_policy
 from .isa import assemble, disassemble
 from .isa.program import Program
 from .lang import compile_program
@@ -54,8 +55,9 @@ def cmd_wcet(args: argparse.Namespace) -> int:
             low, _, high = span.partition(":")
             ranges[int(name.lstrip("Rr"), 0)] = (int(low, 0),
                                                  int(high, 0))
+    policy = make_policy(args.context_policy, k=args.k, peel=args.peel)
     result = analyze_wcet(program, manual_loop_bounds=manual,
-                          register_ranges=ranges)
+                          register_ranges=ranges, context_policy=policy)
     stack = analyze_stack(program, register_ranges=ranges)
     print(wcet_report(result, stack))
     if args.path:
@@ -121,6 +123,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_wcet.add_argument("--reg-range", action="append", default=[],
                         metavar="Rk=LO:HI",
                         help="entry value range annotation")
+    p_wcet.add_argument("--context-policy", default="full",
+                        choices=["full", "klimited", "vivu"],
+                        help="context sensitivity: full call strings "
+                             "(default), k-limited call strings, or "
+                             "VIVU loop peeling")
+    p_wcet.add_argument("--k", type=int, default=None, metavar="K",
+                        help="call-string depth: required meaningfully "
+                             "by --context-policy klimited (default 2); "
+                             "optional for vivu (combines peeling with "
+                             "k-limited call strings)")
+    p_wcet.add_argument("--peel", type=int, default=1, metavar="N",
+                        help="loop iterations peeled per loop for "
+                             "--context-policy vivu (default 1; higher "
+                             "values can loosen the bound where "
+                             "persistence already covered the loop)")
     p_wcet.set_defaults(func=cmd_wcet)
 
     p_stack = sub.add_parser("stack", help="verify stack usage")

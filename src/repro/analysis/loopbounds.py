@@ -69,7 +69,13 @@ class LoopBoundAnalysis:
     def _bound_loop(self, loop: Loop) -> LoopBound:
         manual = self.manual_bounds.get(loop.header.block)
         if manual is not None:
-            return LoopBound(loop.header, manual, "annotation")
+            # Annotations state the full iteration count of the source
+            # loop.  Under a peeling policy this loop object is the
+            # steady-state copy, whose peeled first iterations execute
+            # outside it — the bound here covers only the remainder.
+            peeled = loop.header.context.peel_of(loop.header.block)
+            return LoopBound(loop.header, max(manual - peeled, 0),
+                             "annotation")
         header_state = self.values.fixpoint.state_at(loop.header)
         if header_state is None or header_state.is_bottom():
             # Value analysis proved the loop unreachable: it runs zero

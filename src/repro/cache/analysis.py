@@ -152,6 +152,35 @@ class CacheFixpoint:
         return result
 
 
+def iteration_phase_stats(graph: TaskGraph,
+                          classifications: Dict[NodeId,
+                                                List[Classification]]
+                          ) -> Optional[Dict[str, ClassificationStats]]:
+    """Classification counts split by loop-iteration phase.
+
+    Under a peeling (VIVU) policy the first-iteration context copies
+    absorb the compulsory misses, so the steady-state copies should
+    classify ``ALWAYS_HIT`` where the unpeeled analysis could at best
+    say ``PERSISTENT``/``NOT_CLASSIFIED``.  This split makes that
+    visible (and testable).  Accesses outside any peeled loop are not
+    counted.  Returns ``None`` when the policy does not peel.
+    """
+    peel = graph.policy.peel
+    if not peel:
+        return None
+    split = {"first-iteration": ClassificationStats(),
+             "steady-state": ClassificationStats()}
+    for node, outcomes in classifications.items():
+        context = node.context
+        if not context.iters:
+            continue
+        group = "first-iteration" if context.has_phase_below(peel) \
+            else "steady-state"
+        for outcome in outcomes:
+            split[group].record(outcome)
+    return split
+
+
 # -- Instruction cache ----------------------------------------------------------
 
 
@@ -164,6 +193,8 @@ class ICacheResult:
     stats: ClassificationStats
     #: Work counters of the underlying fixpoint (shared WTO kernel).
     fixpoint_stats: Optional[FixpointStats] = None
+    #: Per-iteration-phase classification split (peeling policies only).
+    iteration_stats: Optional[Dict[str, ClassificationStats]] = None
 
     def for_node(self, node: NodeId) -> List[Classification]:
         return self.classifications.get(node, [])
@@ -183,7 +214,9 @@ def analyze_icache(graph: TaskGraph, config: CacheConfig) -> ICacheResult:
         for outcome in outcomes:
             stats.record(outcome)
     return ICacheResult(config, classifications, stats,
-                        fixpoint_stats=fixpoint.stats)
+                        fixpoint_stats=fixpoint.stats,
+                        iteration_stats=iteration_phase_stats(
+                            graph, classifications))
 
 
 # -- Data cache ----------------------------------------------------------------------
@@ -206,6 +239,8 @@ class DCacheResult:
     stats: ClassificationStats
     #: Work counters of the underlying fixpoint (shared WTO kernel).
     fixpoint_stats: Optional[FixpointStats] = None
+    #: Per-iteration-phase classification split (peeling policies only).
+    iteration_stats: Optional[Dict[str, ClassificationStats]] = None
 
     def for_node(self, node: NodeId) -> List[ClassifiedAccess]:
         return self.classified.get(node, [])
@@ -270,4 +305,6 @@ def analyze_dcache(graph: TaskGraph, config: CacheConfig,
             stats.record(outcome)
         classified[node] = items
     return DCacheResult(config, classified, stats,
-                        fixpoint_stats=fixpoint.stats)
+                        fixpoint_stats=fixpoint.stats,
+                        iteration_stats=iteration_phase_stats(
+                            graph, classifications))

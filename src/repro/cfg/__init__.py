@@ -2,8 +2,10 @@
 context-expanded whole-task graph (phase 1 of the aiT pipeline)."""
 
 from .builder import BinaryCFG, CFGBuilder, CFGError, build_cfg
+from .contexts import (Context, ContextPolicy, FullCallString,
+                       KLimitedCallString, VIVU, make_policy)
 from .dominators import compute_dominators, dominance_frontier, dominates
-from .expand import (Context, ExpansionError, NodeId, TaskEdge, TaskGraph,
+from .expand import (ExpansionError, NodeId, TaskEdge, TaskGraph,
                      expand_task)
 from .graph import (BasicBlock, CallGraph, Edge, EdgeKind, FunctionCFG)
 from .loops import IrreducibleLoopError, Loop, LoopForest, find_loops
@@ -11,7 +13,9 @@ from .loops import IrreducibleLoopError, Loop, LoopForest, find_loops
 __all__ = [
     "BinaryCFG", "CFGBuilder", "CFGError", "build_cfg",
     "compute_dominators", "dominance_frontier", "dominates",
-    "Context", "ExpansionError", "NodeId", "TaskEdge", "TaskGraph",
+    "Context", "ContextPolicy", "FullCallString", "KLimitedCallString",
+    "VIVU", "make_policy",
+    "ExpansionError", "NodeId", "TaskEdge", "TaskGraph",
     "expand_task",
     "BasicBlock", "CallGraph", "Edge", "EdgeKind", "FunctionCFG",
     "IrreducibleLoopError", "Loop", "LoopForest", "find_loops",

@@ -1,0 +1,260 @@
+"""Pluggable context sensitivity for the whole-task expansion.
+
+aiT analyses every program point once per *execution context* — the
+VIVU scheme ("virtual inlining / virtual unrolling", Section 3): not
+only is a function body distinguished per chain of call sites leading
+to it, the *first* iteration of a loop (compulsory cache misses,
+initialisation values) is distinguished from *subsequent* iterations
+(steady-state hits, stabilised intervals).
+
+This module defines the structured :class:`Context` those schemes
+produce and the :class:`ContextPolicy` hierarchy that selects one:
+
+* :class:`FullCallString` — unbounded call strings, no unrolling (the
+  historical behaviour, kept as the differential baseline),
+* :class:`KLimitedCallString` — call strings truncated to the last
+  ``k`` sites, bounding context growth on deep call trees,
+* :class:`VIVU` — call strings plus peeling of the first ``peel``
+  iterations of every loop into their own context copies.
+
+A context has two components:
+
+* ``calls`` — the call-site addresses on the abstract call stack
+  (possibly truncated under k-limiting), and
+* ``iters`` — the loop-iteration component: one ``(header, phase)``
+  pair per enclosing peeled loop, where ``phase < peel`` marks a
+  peeled first-iteration copy and ``phase == peel`` the steady-state
+  copy.
+
+For backwards compatibility with the historical bare-tuple contexts,
+:class:`Context` behaves like its ``calls`` tuple under iteration,
+indexing, and comparison with plain tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+#: One loop-iteration component entry: (loop header block address,
+#: iteration phase).  Phases 0..peel-1 are the peeled ("virtually
+#: unrolled") iterations; phase == peel is the steady state.
+IterEntry = Tuple[int, int]
+
+
+class Context:
+    """A structured execution context: call string + loop iterations.
+
+    Immutable; usable as a dict key and totally ordered (needed for
+    deterministic worklists, WTOs, and reports).
+    """
+
+    __slots__ = ("calls", "iters")
+
+    def __init__(self, calls: Tuple[int, ...] = (),
+                 iters: Tuple[IterEntry, ...] = ()):
+        object.__setattr__(self, "calls", tuple(calls))
+        object.__setattr__(self, "iters", tuple(iters))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Context is immutable")
+
+    # -- Tuple compatibility (calls component) ------------------------------
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.calls)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __getitem__(self, index):
+        return self.calls[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Context):
+            return self.calls == other.calls and self.iters == other.iters
+        if isinstance(other, tuple):
+            # A bare tuple is the historical representation of a pure
+            # call-string context.
+            return not self.iters and self.calls == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        # Equal objects must hash equal, including Context((a, b)) == (a, b).
+        if not self.iters:
+            return hash(self.calls)
+        return hash((self.calls, self.iters))
+
+    def __lt__(self, other: "Context") -> bool:
+        return (self.calls, self.iters) < (other.calls, other.iters)
+
+    def __le__(self, other: "Context") -> bool:
+        return (self.calls, self.iters) <= (other.calls, other.iters)
+
+    def __gt__(self, other: "Context") -> bool:
+        return (self.calls, self.iters) > (other.calls, other.iters)
+
+    def __ge__(self, other: "Context") -> bool:
+        return (self.calls, self.iters) >= (other.calls, other.iters)
+
+    # -- Construction helpers ----------------------------------------------
+
+    def with_iters(self, iters: Tuple[IterEntry, ...]) -> "Context":
+        return Context(self.calls, iters)
+
+    def with_phase(self, header: int, phase: int) -> "Context":
+        """This context with the given loop's phase replaced."""
+        return Context(self.calls, tuple(
+            (block, phase if block == header else p)
+            for block, p in self.iters))
+
+    # -- Queries ------------------------------------------------------------
+
+    def peel_of(self, header: int) -> int:
+        """How many peeled iteration copies of the loop headed at
+        ``header`` precede this (steady-state) copy.  The steady copy
+        carries ``phase == peel``, so its own phase *is* the count; a
+        context without an iteration entry was never peeled (0)."""
+        for block, phase in self.iters:
+            if block == header:
+                return phase
+        return 0
+
+    def has_phase_below(self, peel: int) -> bool:
+        """Is this a (possibly nested) first-iteration copy — i.e. does
+        any enclosing loop sit in a peeled iteration?"""
+        return any(phase < peel for _, phase in self.iters)
+
+    @property
+    def label(self) -> str:
+        """Human-readable context label for reports."""
+        base = "/".join(f"{site:x}" for site in self.calls) or "root"
+        if self.iters:
+            base += "".join(f"[{header:x}.it{phase}]"
+                            for header, phase in self.iters)
+        return base
+
+    def __repr__(self) -> str:
+        return f"Context({self.label})"
+
+
+#: The root (task entry) context.
+ROOT_CONTEXT = Context()
+
+
+class ContextPolicy:
+    """Strategy deciding how many context copies each block gets.
+
+    ``call_context`` maps a caller's context and a call-site address to
+    the callee's context (the call-string component); ``peel`` drives
+    the loop-unrolling post-pass of :func:`repro.cfg.expand.expand_task`
+    (the iteration component).
+    """
+
+    name = "abstract"
+    #: Loop iterations peeled into their own context copies.
+    peel = 0
+
+    def root(self) -> Context:
+        return ROOT_CONTEXT
+
+    def call_context(self, caller: Context, site: int) -> Context:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class FullCallString(ContextPolicy):
+    """Unbounded call strings, no loop unrolling — the differential
+    baseline that reproduces the historical expansion exactly."""
+
+    name = "full-callstring"
+
+    def call_context(self, caller: Context, site: int) -> Context:
+        return Context(caller.calls + (site,))
+
+
+class KLimitedCallString(ContextPolicy):
+    """Call strings truncated to the most recent ``k`` sites.
+
+    Bounds expansion on deep call trees: instances whose last ``k``
+    call sites coincide are merged, so growth is linear in program
+    size instead of multiplicative in call-DAG fan-in.  The cost is
+    call/return matching: a merged callee instance returns to every
+    matching return site, which over-approximates the path set (sound
+    for WCET, but looser).
+    """
+
+    name = "k-callstring"
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+
+    def call_context(self, caller: Context, site: int) -> Context:
+        return Context((caller.calls + (site,))[-self.k:])
+
+    def describe(self) -> str:
+        return f"k-callstring(k={self.k})"
+
+
+class VIVU(ContextPolicy):
+    """Virtual inlining / virtual unrolling (conf_date_HeckmannF05 §3).
+
+    Call strings (full, or k-limited when ``k`` is given) plus peeling
+    of the first ``peel`` iterations of every loop into their own
+    context copies: the peeled copies absorb compulsory cache misses
+    and initialisation values, so steady-state copies classify
+    ``ALWAYS_HIT`` and carry stabilised intervals.
+    """
+
+    name = "vivu"
+
+    def __init__(self, peel: int = 1, k: Optional[int] = None):
+        if peel < 1:
+            raise ValueError("peel must be at least 1")
+        if k is not None and k < 1:
+            raise ValueError("k must be at least 1")
+        self.peel = peel
+        self.k = k
+
+    def call_context(self, caller: Context, site: int) -> Context:
+        calls = caller.calls + (site,)
+        if self.k is not None:
+            calls = calls[-self.k:]
+        return Context(calls)
+
+    def describe(self) -> str:
+        if self.k is None:
+            return f"vivu(peel={self.peel})"
+        return f"vivu(peel={self.peel}, k={self.k})"
+
+
+#: Policy used when the caller does not choose one.
+DEFAULT_POLICY = FullCallString()
+
+
+def make_policy(name: str, k: Optional[int] = None,
+                peel: int = 1) -> ContextPolicy:
+    """Build a policy from CLI-style arguments (``--context-policy``,
+    ``--k``, ``--peel``).
+
+    ``k`` defaults to 2 for ``klimited``; for ``vivu`` it is optional
+    and combines loop peeling with k-limited call strings.
+    """
+    if name in ("full", "full-callstring"):
+        return FullCallString()
+    if name in ("klimited", "k-limited", "k-callstring"):
+        return KLimitedCallString(2 if k is None else k)
+    if name == "vivu":
+        return VIVU(peel=peel, k=k)
+    raise ValueError(f"unknown context policy {name!r}; "
+                     "expected full, klimited, or vivu")

@@ -1,30 +1,37 @@
-"""Whole-task context expansion ("virtual inlining").
+"""Whole-task context expansion ("virtual inlining / virtual unrolling").
 
-aiT analyses each task interprocedurally by distinguishing *call
-contexts*: the same function body is analysed once per chain of call
-sites leading to it.  We realise this by expanding the per-function CFGs
-into a single :class:`TaskGraph` whose nodes are ``(context, block)``
-pairs, where a context is the tuple of call-site addresses on the
-abstract call stack.
+aiT analyses each task interprocedurally by distinguishing *execution
+contexts* (the VIVU scheme, Section 3).  We realise this by expanding
+the per-function CFGs into a single :class:`TaskGraph` whose nodes are
+``(context, block)`` pairs.  What counts as a context is decided by a
+pluggable :class:`~repro.cfg.contexts.ContextPolicy`:
+
+* the **call-string component** is built during expansion — one
+  function-body copy per chain of call sites (possibly truncated under
+  k-limiting), and
+* the **loop-iteration component** is built by a post-pass that peels
+  the first ``policy.peel`` iterations of every loop of the expanded
+  graph into their own copies, rerouting the loop-back edges of the
+  peeled copy into the steady-state copy.
 
 On the expanded graph every later phase — value analysis, cache
 analysis, pipeline analysis, and IPET — becomes a plain fixpoint /
 linear program over one graph, with call and return edges as ordinary
-(but specially tagged) edges.  Recursion is rejected up front, which
-keeps the expansion finite (the standard restriction for WCET tools).
+(but specially tagged) edges.  Recursion is rejected up front
+(:class:`ExpansionError`), which keeps the expansion finite (the
+standard restriction for WCET tools).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..isa.instructions import Cond, Opcode
 from .builder import BinaryCFG
+from .contexts import DEFAULT_POLICY, Context, ContextPolicy
 from .graph import BasicBlock, EdgeKind
-
-#: A call context: addresses of the call sites on the abstract stack.
-Context = Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -35,8 +42,7 @@ class NodeId:
     block: int
 
     def __repr__(self) -> str:
-        chain = "/".join(f"{site:x}" for site in self.context)
-        return f"<{chain or 'root'}:0x{self.block:x}>"
+        return f"<{self.context.label}:0x{self.block:x}>"
 
 
 @dataclass(frozen=True)
@@ -52,8 +58,11 @@ class TaskEdge:
 class TaskGraph:
     """The context-expanded whole-task control-flow graph."""
 
-    def __init__(self, binary: BinaryCFG):
+    def __init__(self, binary: BinaryCFG,
+                 policy: Optional[ContextPolicy] = None):
         self.binary = binary
+        #: The context policy this graph was expanded under.
+        self.policy: ContextPolicy = policy or DEFAULT_POLICY
         self.blocks: Dict[NodeId, BasicBlock] = {}
         self.function_of: Dict[NodeId, int] = {}
         self._succs: Dict[NodeId, List[TaskEdge]] = {}
@@ -125,6 +134,14 @@ class TaskGraph:
     def contexts(self) -> Set[Context]:
         return {node.context for node in self.blocks}
 
+    def peeled_contexts(self) -> Set[Context]:
+        """Contexts that are first-iteration (peeled) loop copies."""
+        peel = self.policy.peel
+        if not peel:
+            return set()
+        return {ctx for ctx in self.contexts()
+                if ctx.has_phase_below(peel)}
+
     def node_count(self) -> int:
         return len(self.blocks)
 
@@ -167,23 +184,34 @@ class TaskGraph:
     def __repr__(self) -> str:
         return (f"TaskGraph({self.node_count()} nodes, "
                 f"{self.edge_count()} edges, "
-                f"{len(self.contexts())} contexts)")
+                f"{len(self.contexts())} contexts, "
+                f"policy={self.policy.describe()})")
 
 
 class ExpansionError(ValueError):
     """The task cannot be context-expanded (e.g. recursion)."""
 
 
-def expand_task(binary: BinaryCFG, max_contexts: int = 100_000) -> TaskGraph:
-    """Virtually inline all calls, producing the whole-task graph.
+def expand_task(binary: BinaryCFG, max_contexts: int = 100_000,
+                policy: Optional[ContextPolicy] = None) -> TaskGraph:
+    """Virtually inline all calls (and, under a peeling policy,
+    virtually unroll all loops), producing the whole-task graph.
 
-    ``max_contexts`` guards against pathological call-site explosion.
+    ``max_contexts`` guards against pathological call-site explosion;
+    ``policy`` selects the context-sensitivity scheme (defaults to
+    :class:`~repro.cfg.contexts.FullCallString`).
     """
-    # Recursion check (raises RecursionError with the offending cycle).
-    binary.call_graph.topological_order(binary.entry)
+    policy = policy or DEFAULT_POLICY
+    # Recursion check: surface call-graph cycles as an ExpansionError
+    # naming the offending cycle instead of leaking the call graph's
+    # internal RecursionError.
+    try:
+        binary.call_graph.topological_order(binary.entry)
+    except RecursionError as exc:
+        raise ExpansionError(f"cannot context-expand task: {exc}") from None
 
-    graph = TaskGraph(binary)
-    root_ctx: Context = ()
+    graph = TaskGraph(binary, policy)
+    root_ctx = policy.root()
     worklist: List[Tuple[Context, int]] = [(root_ctx, binary.entry)]
     instantiated: Set[Tuple[Context, int]] = set()
 
@@ -202,8 +230,7 @@ def expand_task(binary: BinaryCFG, max_contexts: int = 100_000) -> TaskGraph:
             source = NodeId(context, block.start)
             if block.is_call_block:
                 site = block.last.address
-                callee_context = context + (site,)
-                return_site = site + 4
+                callee_context = policy.call_context(context, site)
                 for callee in _call_targets(binary, func_entry, site):
                     worklist.append((callee_context, callee))
                 # Call/return edges are added in a second pass, once the
@@ -214,13 +241,15 @@ def expand_task(binary: BinaryCFG, max_contexts: int = 100_000) -> TaskGraph:
                         source, NodeId(context, edge.target), edge.kind,
                         edge.cond))
 
-    # Second pass: connect call and return edges.
-    for (context, func_entry) in instantiated:
+    # Second pass: connect call and return edges.  Iterated in sorted
+    # (context, function) order so edge insertion order — and hence WTO
+    # iteration order and reports — is reproducible across runs.
+    for (context, func_entry) in sorted(instantiated):
         function = binary.functions[func_entry]
         for block in function.call_sites():
             site = block.last.address
             source = NodeId(context, block.start)
-            callee_context = context + (site,)
+            callee_context = policy.call_context(context, site)
             return_site = site + 4
             for callee in _call_targets(binary, func_entry, site):
                 callee_cfg = binary.functions[callee]
@@ -235,6 +264,8 @@ def expand_task(binary: BinaryCFG, max_contexts: int = 100_000) -> TaskGraph:
                         NodeId(context, return_site), EdgeKind.RETURN))
 
     graph.entry = NodeId(root_ctx, binary.functions[binary.entry].entry)
+    if policy.peel:
+        graph = _peel_loops(graph, policy.peel, max_contexts)
     return graph
 
 
@@ -242,3 +273,91 @@ def _call_targets(binary: BinaryCFG, caller: int, site: int) -> List[int]:
     return [callee for call_site, callee
             in binary.call_graph.calls.get(caller, [])
             if call_site == site]
+
+
+# -- Virtual unrolling (the VIVU iteration component) ---------------------------
+
+
+def _peel_loops(graph: TaskGraph, peel: int,
+                max_contexts: int) -> TaskGraph:
+    """Peel the first ``peel`` iterations of every loop of the expanded
+    graph into their own context copies.
+
+    Every node inside ``d`` nested loops is replicated once per phase
+    vector in ``{0..peel}^d``; phases below ``peel`` are the peeled
+    iteration copies, phase ``peel`` is the steady state.  Loop-back
+    edges of a peeled copy are rerouted into the next phase (the
+    steady-state copy once ``peel`` is reached), and loop-entry edges
+    target phase 0 — so the peeled copies form an acyclic prologue and
+    only the steady-state copy remains a natural loop.  Because loops
+    of the *expanded* graph are peeled, a callee invoked from inside a
+    loop body is duplicated per iteration context as well (virtual
+    inlining before virtual unrolling, as in aiT).
+    """
+    from .loops import find_loops
+
+    forest = find_loops(graph.entry, graph.adjacency())
+    if not len(forest):
+        return graph
+
+    # Loop chain per node, outermost to innermost.  Loops at equal
+    # depth are disjoint, so ascending-depth insertion yields the chain
+    # in nesting order.
+    chain: Dict[NodeId, List] = {node: [] for node in graph.blocks}
+    for loop in sorted(forest.loops, key=lambda l: l.depth):
+        for node in loop.body:
+            chain[node].append(loop)
+
+    def peeled_id(node: NodeId, phases: Tuple[int, ...]) -> NodeId:
+        if not phases:
+            return node
+        iters = tuple((loop.header.block, phase)
+                      for loop, phase in zip(chain[node], phases))
+        return NodeId(node.context.with_iters(iters), node.block)
+
+    peeled = TaskGraph(graph.binary, graph.policy)
+    ordered = sorted(graph.blocks, key=TaskGraph.node_key)
+    contexts: Set[Context] = set()
+    for node in ordered:
+        block = graph.blocks[node]
+        function = graph.function_of[node]
+        for phases in product(range(peel + 1), repeat=len(chain[node])):
+            copy = peeled_id(node, phases)
+            contexts.add(copy.context)
+            if len(contexts) > max_contexts:
+                raise ExpansionError(
+                    f"loop peeling exceeds {max_contexts} contexts; "
+                    f"reduce peel or annotate the loop nest")
+            peeled._add_node(copy, block, function)
+
+    for node in ordered:
+        src_chain = chain[node]
+        for edge in graph.successors(node):
+            tgt_chain = chain[edge.target]
+            tgt_loop = forest.loop_of_header(edge.target)
+            is_back = tgt_loop is not None and node in tgt_loop.body
+            for phases in product(range(peel + 1), repeat=len(src_chain)):
+                phase_of = {loop.header: phase
+                            for loop, phase in zip(src_chain, phases)}
+                target_phases = []
+                for loop in tgt_chain:
+                    if loop is tgt_loop:
+                        # Entering the loop restarts at the first
+                        # peeled iteration; taking a back edge advances
+                        # into the next phase (saturating at steady).
+                        target_phases.append(
+                            min(phase_of[loop.header] + 1, peel)
+                            if is_back else 0)
+                    else:
+                        # An enclosing loop shared with the source
+                        # keeps its phase (reducibility guarantees the
+                        # source is inside it too).
+                        target_phases.append(phase_of[loop.header])
+                peeled._add_edge(TaskEdge(
+                    peeled_id(node, phases),
+                    peeled_id(edge.target, tuple(target_phases)),
+                    edge.kind, edge.cond))
+
+    entry_phases = (0,) * len(chain[graph.entry])
+    peeled.entry = peeled_id(graph.entry, entry_phases)
+    return peeled

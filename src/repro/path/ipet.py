@@ -155,8 +155,9 @@ class PathAnalysis:
             {var.index: 1.0 for var in exit_vars.values()},
             Sense.EQ, 1.0, "one_exit")
 
-        # Loop bounds.
-        self._add_loop_constraints(program, edge_vars)
+        # Loop bounds (and, under a peeling policy, the structural
+        # constraints linking peeled copies to loop entries).
+        self._add_loop_constraints(program, edge_vars, node_vars)
 
         # Infeasible paths (ablation D5).
         if self.use_infeasible_paths:
@@ -190,7 +191,7 @@ class PathAnalysis:
         return program, node_vars, edge_vars, exit_vars, onetime_vars
 
     def _add_loop_constraints(self, program: LinearProgram,
-                              edge_vars) -> None:
+                              edge_vars, node_vars) -> None:
         unbounded = []
         if self.values is None:
             return
@@ -216,8 +217,50 @@ class PathAnalysis:
                 if loop.header == self.graph.entry else 0.0
             program.add_constraint(coeffs, Sense.LE, rhs,
                                    f"loop_{loop.header!r}")
+            self._add_peel_constraints(program, edge_vars, node_vars,
+                                       loop)
         if unbounded:
             raise UnboundedLoopError(unbounded)
+
+    def _add_peel_constraints(self, program: LinearProgram, edge_vars,
+                              node_vars, loop) -> None:
+        """Structural VIVU constraints for a peeled loop.
+
+        The forest only contains the steady-state copy; its peeled
+        prologue copies are separate (acyclic) nodes.  Flow
+        conservation alone bounds them on a DAG, but merged call/return
+        edges under k-limited call strings can introduce spurious
+        cycles through a prologue, so the linkage is stated explicitly:
+        each peeled header copy runs at most as often as the previous
+        one, and the steady-state copy is entered at most once per
+        execution of the last peeled copy.
+        """
+        header = loop.header
+        peel = header.context.peel_of(header.block)
+        if not peel:
+            return
+
+        def header_copy(phase: int):
+            node = NodeId(header.context.with_phase(header.block, phase),
+                          header.block)
+            return node_vars.get(node)
+
+        for phase in range(1, peel):
+            later, earlier = header_copy(phase), header_copy(phase - 1)
+            if later is not None and earlier is not None:
+                program.add_constraint(
+                    {later.index: 1.0, earlier.index: -1.0}, Sense.LE,
+                    0.0, f"peel_{phase}_{header!r}")
+        last_peeled = header_copy(peel - 1)
+        if last_peeled is not None:
+            coeffs = {last_peeled.index: -1.0}
+            for edge in self.graph.predecessors(header):
+                if edge.source not in loop.body:
+                    key = (edge.source, edge.target, edge.kind)
+                    coeffs[edge_vars[key].index] = \
+                        coeffs.get(edge_vars[key].index, 0.0) + 1.0
+            program.add_constraint(coeffs, Sense.LE, 0.0,
+                                   f"peel_entry_{header!r}")
 
     def _unbounded_headers(self) -> List[NodeId]:
         return [loop.header

@@ -23,7 +23,9 @@ _EDGE_STYLES = {
 
 def _node_id(node) -> str:
     context = "_".join(f"{c:x}" for c in node.context)
-    return f"n{context}_{node.block:x}"
+    iters = "_".join(f"{header:x}i{phase}"
+                     for header, phase in node.context.iters)
+    return f"n{context}_{iters}_{node.block:x}"
 
 
 def wcet_dot(result: WCETResult, include_instructions: bool = False) -> str:
@@ -40,7 +42,7 @@ def wcet_dot(result: WCETResult, include_instructions: bool = False) -> str:
         block = result.graph.blocks[node]
         cost = result.timing.block_cost(node)
         count = counts.get(node, 0)
-        context = "/".join(hex(c) for c in node.context) or "root"
+        context = node.context.label
         label_lines = [
             f"0x{block.start:x} [{result.graph.function_name(node)}]",
             f"ctx {context}",

@@ -36,6 +36,12 @@ def wcet_report(result: WCETResult,
         f"{result.graph.node_count()} nodes / "
         f"{result.graph.edge_count()} edges in "
         f"{len(result.graph.contexts())} call contexts")
+    peeled = result.graph.peeled_contexts()
+    policy_line = f"   context policy: {result.graph.policy.describe()}"
+    if peeled:
+        policy_line += (f" ({len(peeled)} first-iteration copies of "
+                        f"{len(result.graph.contexts())} contexts)")
+    out(policy_line)
     out("")
 
     stats = result.values.precision()
@@ -56,9 +62,11 @@ def wcet_report(result: WCETResult,
                                     key=lambda kv: kv[0].block):
             text = str(bound.max_iterations) if bound.is_bounded \
                 else "UNBOUNDED"
+            peel = header.context.peel_of(header.block)
+            suffix = f" (+{peel} peeled)" if peel else ""
             out(f"   loop @ 0x{header.block:x} "
-                f"(ctx {'/'.join(hex(c) for c in header.context) or 'root'}"
-                f"): {text} iterations [{bound.method}]")
+                f"(ctx {header.context.label}): {text} iterations"
+                f"{suffix} [{bound.method}]")
     else:
         out("   no loops")
     out("")
@@ -69,6 +77,16 @@ def wcet_report(result: WCETResult,
         f"{ic.persistent} PS, {ic.not_classified} NC")
     out(f"   D-cache: {dc.always_hit} AH, {dc.always_miss} AM, "
         f"{dc.persistent} PS, {dc.not_classified} NC")
+    for label, split in (("I-cache", result.icache.iteration_stats),
+                         ("D-cache", result.dcache.iteration_stats)):
+        if not split:
+            continue
+        for phase, stats in split.items():
+            if not stats.total:
+                continue
+            out(f"   {label} [{phase}]: {stats.always_hit} AH, "
+                f"{stats.always_miss} AM, {stats.persistent} PS, "
+                f"{stats.not_classified} NC")
     out("")
 
     out("-- Phase 5: pipeline analysis")
@@ -114,7 +132,7 @@ def worst_case_path_table(result: WCETResult, limit: int = 30) -> str:
              f"{'cyc/exec':>9} {'total':>9}"]
     for node, count in rows[:limit]:
         cost = result.timing.block_cost(node)
-        context = "/".join(hex(c) for c in node.context) or "root"
+        context = node.context.label
         lines.append(f"0x{node.block:<26x} {context:<14} {count:>7} "
                      f"{cost:>9} {count * cost:>9}")
     return "\n".join(lines) + "\n"

@@ -153,7 +153,16 @@ class BoundChecker:
                 if bound is None or not bound.is_bounded:
                     bounded = False
                     break
-                total *= bound.max_iterations
+                per_entry = bound.max_iterations
+                if node is loop:
+                    # Under a peeling policy this loop object is only
+                    # the steady-state copy; its peeled prologue copies
+                    # execute the same header address up to once each
+                    # per entry into the nest and are not loops of the
+                    # expanded graph themselves.
+                    per_entry += node.header.context.peel_of(
+                        node.header.block)
+                total *= per_entry
                 node = node.parent
             address = loop.header.block
             if not bounded:

@@ -23,6 +23,7 @@ from ..cache.analysis import (DCacheResult, ICacheResult, analyze_dcache,
                               analyze_icache)
 from ..cache.config import MachineConfig
 from ..cfg.builder import BinaryCFG, build_cfg
+from ..cfg.contexts import ContextPolicy
 from ..cfg.expand import NodeId, TaskGraph, expand_task
 from ..isa.program import Program
 from ..path.ipet import PathAnalysisResult, analyze_paths
@@ -48,6 +49,8 @@ class WCETResult:
     #: "dcache") — the shared WTO kernel's instrumentation, alongside
     #: the wall-clock numbers in :attr:`phase_seconds`.
     solver_stats: Dict[str, FixpointStats] = field(default_factory=dict)
+    #: The context-sensitivity policy the task graph was expanded under.
+    context_policy: Optional[ContextPolicy] = None
 
     @property
     def wcet_cycles(self) -> int:
@@ -71,7 +74,8 @@ class WCETResult:
             f"{'integral' if self.path.integral else 'fractional'})",
             f"Task graph: {self.graph.node_count()} blocks, "
             f"{self.graph.edge_count()} edges, "
-            f"{len(self.graph.contexts())} contexts",
+            f"{len(self.graph.contexts())} contexts "
+            f"[{self.graph.policy.describe()}]",
             f"Value analysis: {stats.exact}/{stats.total} accesses exact "
             f"({100 * stats.exact_ratio:.1f}%)",
             f"I-cache: {self.icache.stats.always_hit} AH / "
@@ -101,17 +105,24 @@ def analyze_wcet(program: Program,
                  use_value_analysis_for_dcache: bool = True,
                  use_widening_thresholds: bool = True,
                  narrowing_passes: int = 2,
-                 integer: bool = True) -> WCETResult:
+                 integer: bool = True,
+                 context_policy: Optional[ContextPolicy] = None
+                 ) -> WCETResult:
     """Run the complete aiT pipeline on ``program``.
 
     Annotation parameters mirror aiT's user inputs:
 
     * ``register_ranges`` — value ranges of input registers at entry,
     * ``manual_loop_bounds`` — iteration bounds for loops the analysis
-      cannot bound, keyed by loop-header address,
+      cannot bound, keyed by loop-header address (under a peeling
+      policy the annotation still states the *full* iteration count;
+      the analysis accounts the peeled copies itself),
     * ``indirect_targets`` — possible targets of indirect branches.
 
-    Ablation switches (DESIGN.md D1-D5) default to the full analysis.
+    ``context_policy`` selects the context-sensitivity scheme (VIVU
+    loop peeling, k-limited call strings); the default reproduces the
+    historical full-call-string expansion.  Ablation switches
+    (DESIGN.md D1-D5) default to the full analysis.
     """
     config = config or MachineConfig.default()
     phases: Dict[str, float] = {}
@@ -127,7 +138,7 @@ def analyze_wcet(program: Program,
 
     with timed("cfg"):
         binary_cfg = build_cfg(program, entry, indirect_targets)
-        graph = expand_task(binary_cfg)
+        graph = expand_task(binary_cfg, policy=context_policy)
     with timed("value"):
         values = analyze_values(
             graph, domain=domain, register_ranges=register_ranges,
@@ -155,4 +166,5 @@ def analyze_wcet(program: Program,
         solver_stats["dcache"] = dcache.fixpoint_stats
     return WCETResult(program, config, binary_cfg, graph, values,
                       loop_bounds, icache, dcache, timing, path, phases,
-                      solver_stats=solver_stats)
+                      solver_stats=solver_stats,
+                      context_policy=graph.policy)

@@ -61,8 +61,10 @@ class TestUnsupportedProgramClasses:
             HALT
         """)
         binary = build_cfg(program)
-        with pytest.raises(RecursionError):
+        with pytest.raises(ExpansionError) as excinfo:
             expand_task(binary)
+        # The error names the offending call cycle.
+        assert "main -> main" in str(excinfo.value)
 
     def test_irreducible_loop_rejected(self):
         # Jump into the middle of a loop (two-entry cycle).

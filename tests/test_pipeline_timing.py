@@ -1,0 +1,166 @@
+"""Direct unit tests for pipeline-analysis edge costs.
+
+The per-edge components of the timing model — taken-branch redirect
+penalties and cross-block load-use stalls — were previously exercised
+only indirectly through end-to-end WCET tests; these tests pin them
+down at the :func:`repro.pipeline.analyze_pipeline` level.
+"""
+
+from repro.analysis import analyze_values
+from repro.cache.analysis import analyze_dcache, analyze_icache
+from repro.cache.config import MachineConfig
+from repro.cfg import EdgeKind, build_cfg, expand_task
+from repro.isa import assemble
+from repro.pipeline import analyze_pipeline
+
+CONFIG = MachineConfig.default()
+
+
+def timing_for(source, config=CONFIG):
+    graph = expand_task(build_cfg(assemble(source)))
+    values = analyze_values(graph)
+    icache = analyze_icache(graph, config.icache)
+    dcache = analyze_dcache(graph, config.dcache, values)
+    return graph, analyze_pipeline(graph, config, icache, dcache)
+
+
+def node_at(graph, address):
+    return next(n for n in graph.nodes() if n.block == address)
+
+
+def edge_cost(timing, source, target, kind):
+    return timing.edges.get((source, target, kind), 0)
+
+
+class TestTakenBranchPenalty:
+    SOURCE = """
+    main:
+        CMPI R0, #10
+        BGE big
+        MOVI R1, #1
+        B end
+    big:
+        MOVI R1, #2
+    end:
+        HALT
+    """
+
+    def test_taken_edge_pays_redirect(self):
+        graph, timing = timing_for(self.SOURCE)
+        symbols = graph.binary.program.symbols
+        branch = node_at(graph, symbols["main"])
+        big = node_at(graph, symbols["big"])
+        assert edge_cost(timing, branch, big, EdgeKind.TAKEN) \
+            == CONFIG.branch_penalty
+
+    def test_fallthrough_edge_is_free(self):
+        graph, timing = timing_for(self.SOURCE)
+        symbols = graph.binary.program.symbols
+        branch = node_at(graph, symbols["main"])
+        fallthrough = node_at(graph, symbols["main"] + 8)
+        assert edge_cost(timing, branch, fallthrough,
+                         EdgeKind.FALLTHROUGH) == 0
+
+    def test_unconditional_branch_charged_to_block_not_edge(self):
+        # B always redirects, so its penalty lives in the block cost
+        # (there is no taken/not-taken distinction for IPET to make).
+        graph, timing = timing_for(self.SOURCE)
+        symbols = graph.binary.program.symbols
+        b_block = node_at(graph, symbols["main"] + 8)
+        end = node_at(graph, symbols["end"])
+        assert edge_cost(timing, b_block, end, EdgeKind.TAKEN) == 0
+        # 2 instructions + the redirect.
+        assert timing.block_cost(b_block) == 2 + CONFIG.branch_penalty
+
+
+class TestCrossBlockLoadUseStall:
+    STALL = """
+    main:
+        LDA R1, buf
+        LDR R2, [R1]
+    target:
+        ADD R3, R2, R0
+        ADDI R0, R0, #1
+        CMPI R0, #3
+        BLT target
+        HALT
+    .data
+    buf: .word 7
+    """
+
+    NO_STALL = """
+    main:
+        LDA R1, buf
+        LDR R2, [R1]
+    target:
+        ADDI R0, R0, #1
+        ADD R3, R2, R0
+        CMPI R0, #3
+        BLT target
+        HALT
+    .data
+    buf: .word 7
+    """
+
+    def test_successor_reading_loaded_register_stalls(self):
+        graph, timing = timing_for(self.STALL)
+        symbols = graph.binary.program.symbols
+        loader = node_at(graph, symbols["main"])
+        target = node_at(graph, symbols["target"])
+        assert edge_cost(timing, loader, target, EdgeKind.FALLTHROUGH) \
+            == CONFIG.load_use_stall
+
+    def test_no_stall_when_first_instruction_is_independent(self):
+        graph, timing = timing_for(self.NO_STALL)
+        symbols = graph.binary.program.symbols
+        loader = node_at(graph, symbols["main"])
+        target = node_at(graph, symbols["target"])
+        assert edge_cost(timing, loader, target,
+                         EdgeKind.FALLTHROUGH) == 0
+
+    def test_back_edge_has_branch_penalty_but_no_stall(self):
+        # The latch ends in BLT (not a load): the taken back edge pays
+        # only the redirect.
+        graph, timing = timing_for(self.STALL)
+        symbols = graph.binary.program.symbols
+        target = node_at(graph, symbols["target"])
+        assert edge_cost(timing, target, target, EdgeKind.TAKEN) \
+            == CONFIG.branch_penalty
+
+    def test_pop_pending_registers_stall(self):
+        source = """
+        main:
+            PUSH {R4, R5}
+            POP {R4, R5}
+        target:
+            ADD R0, R5, R5
+            CMPI R0, #100
+            BLT target
+            HALT
+        """
+        graph, timing = timing_for(source)
+        symbols = graph.binary.program.symbols
+        popper = node_at(graph, symbols["main"])
+        target = node_at(graph, symbols["target"])
+        assert edge_cost(timing, popper, target, EdgeKind.FALLTHROUGH) \
+            == CONFIG.load_use_stall
+
+    def test_intra_block_stall_in_base_cost(self):
+        source = """
+        main:
+            LDA R1, buf
+            LDR R2, [R1]
+            ADD R3, R2, R0
+            HALT
+        .data
+        buf: .word 7
+        """
+        stalled_graph, stalled = timing_for(source)
+        baseline_graph, baseline = timing_for(source.replace(
+            "ADD R3, R2, R0", "ADD R3, R0, R0"))
+        node = node_at(stalled_graph,
+                       stalled_graph.binary.program.symbols["main"])
+        base_node = node_at(baseline_graph,
+                            baseline_graph.binary.program.symbols["main"])
+        assert stalled.block_cost(node) \
+            == baseline.block_cost(base_node) + CONFIG.load_use_stall
