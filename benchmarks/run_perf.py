@@ -9,12 +9,17 @@ WTO kernel against the legacy FIFO reference, and appends the run to
 trajectory.  Each point also records the per-phase wall clock of the
 analysis and the expanded-graph size (contexts/nodes/edges) under
 every context policy, so context-explosion regressions are visible
-across PRs.
+across PRs, plus a per-timing-model row (``additive`` vs ``krisc5``:
+WCET bound and phase timings) with two bound guards: krisc5 must
+never exceed additive on the same point, and neither model's bound
+may regress past the last recorded run.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_perf.py [--repeat N] [--json PATH]
+    PYTHONPATH=src python benchmarks/run_perf.py [--repeat N]
+        [--json PATH] [--quick]
 
+``--quick`` is the CI smoke mode: fewer points, one repetition.
 Exit status is non-zero if any budget assertion fails.
 """
 
@@ -41,6 +46,10 @@ from repro.lang import compile_program             # noqa: E402
 from repro.wcet import analyze_wcet                # noqa: E402
 
 STAGES = (1, 2, 4, 8, 16)
+QUICK_STAGES = (1, 4)
+
+#: Timing models measured per point (per-model WCET + phase wall clock).
+MODELS = ("additive", "krisc5")
 
 #: Context policies whose expansion footprint every point records
 #: (context-explosion regression guard).
@@ -87,6 +96,24 @@ def measure_point(stages: int, repeat: int) -> Dict:
     memory_copies = AbstractMemory.copies - memory_copies_before
     memory_mat = AbstractMemory.materializations - memory_mat_before
 
+    models = {}
+    for model in MODELS:
+        if model == "additive":
+            modelled = result
+        else:
+            modelled = analyze_wcet(program, pipeline_model=model)
+        entry = {
+            "wcet_cycles": modelled.wcet_cycles,
+            "pipeline_seconds": round(
+                modelled.phase_seconds["pipeline"], 4),
+            "phase_seconds": {phase: round(seconds, 4)
+                              for phase, seconds
+                              in modelled.phase_seconds.items()},
+        }
+        if modelled.timing.state_stats is not None:
+            entry["state_stats"] = modelled.timing.state_stats.as_dict()
+        models[model] = entry
+
     point = {
         "stages": stages,
         "instructions": result.binary_cfg.total_instructions(),
@@ -106,6 +133,7 @@ def measure_point(stages: int, repeat: int) -> Dict:
                           for phase, seconds
                           in result.phase_seconds.items()},
         "contexts_by_policy": contexts_by_policy,
+        "models": models,
         "state_copies_per_run": state_copies // repeat,
         "state_materializations_per_run": state_mat // repeat,
         "memory_copies_per_run": memory_copies // repeat,
@@ -118,19 +146,24 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3,
                         help="wall-clock repetitions per point (min wins)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer points, 1 repetition")
     parser.add_argument("--json", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_fixpoint.json"))
     args = parser.parse_args(argv)
+    stage_list = QUICK_STAGES if args.quick else STAGES
+    repeat = 1 if args.quick else args.repeat
 
     points = []
     header = (f"{'stages':>6} {'nodes':>6} {'fifo xfer':>10} "
               f"{'wto xfer':>9} {'ratio':>6} {'widen':>6} "
-              f"{'value ms':>9} {'total ms':>9}")
+              f"{'value ms':>9} {'total ms':>9} "
+              f"{'wcet add':>9} {'wcet k5':>9}")
     print(header)
     print("-" * len(header))
-    for stages in STAGES:
-        point = measure_point(stages, args.repeat)
+    for stages in stage_list:
+        point = measure_point(stages, repeat)
         points.append(point)
         ratio = point["wto"]["transfers"] / point["fifo"]["transfers"]
         print(f"{stages:>6} {point['nodes']:>6} "
@@ -138,7 +171,9 @@ def main(argv=None) -> int:
               f"{point['wto']['transfers']:>9} {ratio:>6.2f} "
               f"{point['wto']['widenings']:>6} "
               f"{point['value_phase_seconds'] * 1000:>9.1f} "
-              f"{point['analyze_wcet_seconds'] * 1000:>9.1f}")
+              f"{point['analyze_wcet_seconds'] * 1000:>9.1f} "
+              f"{point['models']['additive']['wcet_cycles']:>9} "
+              f"{point['models']['krisc5']['wcet_cycles']:>9}")
 
     failures = []
     largest = points[-1]
@@ -163,14 +198,16 @@ def main(argv=None) -> int:
             failures.append(
                 f"k-limited expansion larger than full call strings at "
                 f"{point['stages']} stages")
+        # Model-tightness guard: the overlapped pipeline bound must
+        # never exceed the additive one on the same program.
+        models = point["models"]
+        if models["krisc5"]["wcet_cycles"] \
+                > models["additive"]["wcet_cycles"]:
+            failures.append(
+                f"krisc5 bound {models['krisc5']['wcet_cycles']} looser "
+                f"than additive {models['additive']['wcet_cycles']} at "
+                f"{point['stages']} stages")
 
-    run = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-        "transfer_budget_ratio": TRANSFER_BUDGET_RATIO,
-        "points": points,
-        "ok": not failures,
-    }
     trajectory = {"runs": []}
     if os.path.exists(args.json):
         try:
@@ -178,6 +215,32 @@ def main(argv=None) -> int:
                 trajectory = json.load(handle)
         except (OSError, ValueError):
             pass
+
+    # Bound-regression guard: neither model's bound may exceed the one
+    # recorded by the most recent prior run of the same point (bounds
+    # are deterministic, so any increase is an analysis regression).
+    previous = {}
+    for prior in trajectory.get("runs", []):
+        for point in prior.get("points", []):
+            for model, entry in point.get("models", {}).items():
+                previous[(point["stages"], model)] = entry["wcet_cycles"]
+    for point in points:
+        for model, entry in point["models"].items():
+            recorded = previous.get((point["stages"], model))
+            if recorded is not None and entry["wcet_cycles"] > recorded:
+                failures.append(
+                    f"{model} bound regressed at {point['stages']} "
+                    f"stages: {entry['wcet_cycles']} > recorded "
+                    f"{recorded}")
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "transfer_budget_ratio": TRANSFER_BUDGET_RATIO,
+        "quick": args.quick,
+        "points": points,
+        "ok": not failures,
+    }
     trajectory.setdefault("runs", []).append(run)
     with open(args.json, "w") as handle:
         json.dump(trajectory, handle, indent=1)

@@ -22,7 +22,8 @@ from repro.cfg import build_cfg, expand_task
 from repro.path.ipet import UnboundedLoopError, analyze_paths
 from repro.pipeline.analysis import analyze_pipeline
 from repro.wcet import analyze_wcet
-from repro.workloads import analyze_workload, get_workload
+from repro.workloads import (analyze_workload, get_workload,
+                             observed_worst_case, workload_names)
 
 
 def test_a1_widening_thresholds_and_narrowing(benchmark):
@@ -223,6 +224,83 @@ def test_a7_strided_vs_plain_intervals(benchmark):
     assert candidate_lines(strided) <= candidate_lines(interval)
 
     benchmark(lambda: analyze_wcet(program, domain=StridedInterval))
+
+
+def test_a8_pipeline_model_tightness(benchmark):
+    """A8 (timing-model differential over the whole corpus): the
+    overlapped krisc5 model is simulator-sound and never looser than
+    the additive model — overlap can only tighten — and the krisc5
+    machine itself is never slower than the additive one."""
+    rows = []
+    strictly_tighter = 0
+    names = workload_names()
+    for name in names:
+        workload = get_workload(name)
+        program = workload.compile()
+        additive = analyzed(name)
+        krisc5 = analyze_workload(workload, pipeline_model="krisc5")
+        sim_additive, _ = observed_worst_case(workload, program, runs=5)
+        sim_krisc5, _ = observed_worst_case(workload, program,
+                                            config=krisc5.config, runs=5)
+        assert krisc5.wcet_cycles <= additive.wcet_cycles, (
+            f"{name}: krisc5 bound {krisc5.wcet_cycles} looser than "
+            f"additive {additive.wcet_cycles}")
+        assert sim_additive <= additive.wcet_cycles
+        assert sim_krisc5 <= krisc5.wcet_cycles, (
+            f"{name}: krisc5 bound {krisc5.wcet_cycles} below observed "
+            f"{sim_krisc5}")
+        assert sim_krisc5 <= sim_additive, (
+            f"{name}: overlapped machine slower than additive one")
+        if krisc5.wcet_cycles < additive.wcet_cycles:
+            strictly_tighter += 1
+        rows.append([name, additive.wcet_cycles, krisc5.wcet_cycles,
+                     f"{krisc5.wcet_cycles / additive.wcet_cycles:.2f}x",
+                     sim_krisc5])
+    print_table(
+        "A8: additive vs krisc5 WCET bounds (whole corpus)",
+        ["kernel", "additive", "krisc5", "ratio", "observed (krisc5)"],
+        rows)
+    assert strictly_tighter >= 8, (
+        f"krisc5 strictly tighter on only {strictly_tighter} of "
+        f"{len(names)} workloads")
+    workload = get_workload("matmult")
+    benchmark(lambda: analyze_workload(workload, pipeline_model="krisc5"))
+
+
+def test_a8b_adverse_machine_soundness(benchmark):
+    """A8b: the krisc5 bound covers randomised runs away from the
+    default machine point too (tiny direct-mapped caches, larger
+    penalties, state-set cap 1) — the regime that exposed the
+    input-array modelling gap the `memory_ranges` annotation closes."""
+    from repro.cache.config import CacheConfig, MachineConfig
+
+    adverse = MachineConfig(
+        icache=CacheConfig(num_sets=2, associativity=1, line_size=8,
+                           miss_penalty=13),
+        dcache=CacheConfig(num_sets=2, associativity=1, line_size=8,
+                           miss_penalty=13),
+        load_use_stall=2, pipeline_state_cap=1,
+        pipeline_model="krisc5")
+    rows = []
+    for name in ("branchy", "statemate", "cnt", "lcdnum", "insertsort"):
+        workload = get_workload(name)
+        program = workload.compile()
+        krisc5 = analyze_workload(workload, config=adverse)
+        additive = analyze_workload(
+            workload, config=adverse.with_model("additive"))
+        observed, _ = observed_worst_case(workload, program,
+                                          config=adverse, runs=40)
+        assert observed <= krisc5.wcet_cycles, (
+            f"{name}: adverse-config bound {krisc5.wcet_cycles} below "
+            f"observed {observed}")
+        assert krisc5.wcet_cycles <= additive.wcet_cycles
+        rows.append([name, additive.wcet_cycles, krisc5.wcet_cycles,
+                     observed])
+    print_table(
+        "A8b: adverse machine point (2x1x8 caches, pen 13, cap 1)",
+        ["kernel", "additive", "krisc5", "observed"], rows)
+    workload = get_workload("branchy")
+    benchmark(lambda: analyze_workload(workload, config=adverse))
 
 
 def test_a6_ilp_vs_lp_relaxation(benchmark):

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Comparing the two machine timing models on one workload.
+
+Analyses the ``matmult`` kernel under the additive model (every
+instruction pays the sum of its worst-case components) and the
+overlapped ``krisc5`` 5-stage pipeline model (abstract pipeline-state
+analysis), then simulates the same binary under both machines to show
+that each bound covers its machine and that overlap only tightens.
+
+Run with::
+
+    PYTHONPATH=src python examples/pipeline_models.py [workload]
+"""
+
+import sys
+
+from repro.workloads import (analyze_workload, get_workload,
+                             observed_worst_case)
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "matmult"
+    workload = get_workload(name)
+    program = workload.compile()
+
+    additive = analyze_workload(workload)
+    krisc5 = analyze_workload(workload, pipeline_model="krisc5")
+
+    sim_additive, _ = observed_worst_case(workload, program, runs=10)
+    sim_krisc5, _ = observed_worst_case(workload, program,
+                                        config=krisc5.config, runs=10)
+
+    print(f"workload: {name} — {workload.description}")
+    print(f"{'model':<10} {'WCET bound':>11} {'observed worst':>15} "
+          f"{'slack':>7}")
+    for label, result, observed in (
+            ("additive", additive, sim_additive),
+            ("krisc5", krisc5, sim_krisc5)):
+        slack = result.wcet_cycles / observed
+        print(f"{label:<10} {result.wcet_cycles:>11} {observed:>15} "
+              f"{slack:>6.2f}x")
+
+    saved = additive.wcet_cycles - krisc5.wcet_cycles
+    print(f"\nfetch/execute overlap tightens the verified bound by "
+          f"{saved} cycles "
+          f"({100 * saved / additive.wcet_cycles:.1f}%).")
+    states = krisc5.timing.state_stats
+    print(f"pipeline-state analysis tracked at most "
+          f"{states.peak_states} states per block "
+          f"({states.cap_merges} cap merges at cap "
+          f"{krisc5.config.pipeline_state_cap}).")
+
+    assert sim_additive <= additive.wcet_cycles
+    assert sim_krisc5 <= krisc5.wcet_cycles
+    assert krisc5.wcet_cycles <= additive.wcet_cycles
+    print("soundness: both bounds cover their machine; "
+          "krisc5 ≤ additive.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

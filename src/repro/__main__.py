@@ -57,7 +57,8 @@ def cmd_wcet(args: argparse.Namespace) -> int:
                                                  int(high, 0))
     policy = make_policy(args.context_policy, k=args.k, peel=args.peel)
     result = analyze_wcet(program, manual_loop_bounds=manual,
-                          register_ranges=ranges, context_policy=policy)
+                          register_ranges=ranges, context_policy=policy,
+                          pipeline_model=args.pipeline_model)
     stack = analyze_stack(program, register_ranges=ranges)
     print(wcet_report(result, stack))
     if args.path:
@@ -79,10 +80,13 @@ def cmd_stack(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .cache.config import MachineConfig
+
     program = _load_program(args.file)
     arguments = {int(k.lstrip("Rr")): v for k, v in _parse_assignments(
         args.reg, "register").items()}
-    result = run_program(program, arguments=arguments,
+    config = MachineConfig(pipeline_model=args.pipeline_model)
+    result = run_program(program, config=config, arguments=arguments,
                          max_steps=args.max_steps)
     print(f"halted after {result.steps} instructions, "
           f"{result.cycles} cycles")
@@ -138,6 +142,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "--context-policy vivu (default 1; higher "
                              "values can loosen the bound where "
                              "persistence already covered the loop)")
+    p_wcet.add_argument("--pipeline-model", default="additive",
+                        choices=["additive", "krisc5"],
+                        help="machine timing model: per-instruction "
+                             "additive costs (default) or the "
+                             "overlapped 5-stage krisc5 pipeline "
+                             "(abstract pipeline-state analysis)")
     p_wcet.set_defaults(func=cmd_wcet)
 
     p_stack = sub.add_parser("stack", help="verify stack usage")
@@ -149,6 +159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--reg", action="append", default=[],
                        metavar="Rk=V", help="initial register value")
     p_run.add_argument("--max-steps", type=int, default=1_000_000)
+    p_run.add_argument("--pipeline-model", default="additive",
+                       choices=["additive", "krisc5"],
+                       help="timing model to account cycles under")
     p_run.set_defaults(func=cmd_run)
 
     p_dis = sub.add_parser("disasm", help="disassemble a binary")

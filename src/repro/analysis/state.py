@@ -256,18 +256,29 @@ class AbstractState:
     def entry_state(cls, domain: Type[AbstractValue], stack_pointer: int,
                     initial_memory: Optional[Dict[int, int]] = None,
                     register_ranges: Optional[
+                        Dict[int, Tuple[int, int]]] = None,
+                    memory_ranges: Optional[
                         Dict[int, Tuple[int, int]]] = None
                     ) -> "AbstractState":
         """The abstract state at task entry.
 
         ``register_ranges`` plays the role of aiT's user annotations on
-        input registers (e.g. "R0 is in [0, 100]").
+        input registers (e.g. "R0 is in [0, 100]").  ``memory_ranges``
+        is the memory-side counterpart: per word address, the value
+        range the environment may have placed there before the task
+        runs (input buffers) — overriding the binary's initial image,
+        so the analysis never treats externally-written data as the
+        constants the image happens to contain.
         """
         state = cls(domain)
         state.regs[SP] = domain.const(stack_pointer)
         if initial_memory:
             for address, word in initial_memory.items():
                 state.memory.entries[_align(address)] = domain.const(word)
+        if memory_ranges:
+            for address, (low, high) in memory_ranges.items():
+                state.memory.entries[_align(address)] = \
+                    domain.range(low, high)
         if register_ranges:
             for reg, (low, high) in register_ranges.items():
                 state.regs[reg] = domain.range(low, high)

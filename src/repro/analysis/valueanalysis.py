@@ -207,18 +207,24 @@ def analyze_values(graph: TaskGraph,
                    widen_delay: int = DEFAULT_WIDEN_DELAY,
                    narrowing_passes: int = DEFAULT_NARROWING_PASSES,
                    use_widening_thresholds: bool = True,
-                   strategy: str = "wto") -> ValueAnalysisResult:
+                   strategy: str = "wto",
+                   memory_ranges: Optional[
+                       Dict[int, Tuple[int, int]]] = None
+                   ) -> ValueAnalysisResult:
     """Run value analysis on a task (phase 2 of the aiT pipeline).
 
     ``register_ranges`` corresponds to aiT's annotations constraining
-    input registers at task entry.  ``strategy`` selects the fixpoint
-    engine: the shared WTO kernel (default) or the legacy FIFO worklist
-    (kept for differential testing and benchmarking).
+    input registers at task entry; ``memory_ranges`` constrains memory
+    words the environment writes before the task runs (input buffers),
+    overriding the values the binary image happens to contain.
+    ``strategy`` selects the fixpoint engine: the shared WTO kernel
+    (default) or the legacy FIFO worklist (kept for differential
+    testing and benchmarking).
     """
     program = graph.binary.program
     entry_state = AbstractState.entry_state(
         domain, program.memory_map.stack_base, program.initial_memory(),
-        register_ranges)
+        register_ranges, memory_ranges)
     solver = FixpointSolver(graph, widen_delay, narrowing_passes,
                             use_widening_thresholds, strategy=strategy)
     fixpoint = solver.solve(entry_state)

@@ -46,11 +46,19 @@ class CacheConfig:
         return self.line_of(address) % self.num_sets
 
 
+#: Timing models a :class:`MachineConfig` can select.
+PIPELINE_MODELS = ("additive", "krisc5")
+
+
 @dataclass(frozen=True)
 class MachineConfig:
     """The complete timing model of the KRISC core.
 
-    Per-instruction cost is additive:
+    Two timing models share the same hazard parameters, selected by
+    ``pipeline_model``:
+
+    ``additive`` (the default) charges every instruction the sum of its
+    worst-case components, with no overlap between them:
 
     * 1 base cycle (pipelined issue),
     * instruction-fetch: +``icache.miss_penalty`` on an I-cache miss,
@@ -61,6 +69,21 @@ class MachineConfig:
       loaded by its immediate predecessor,
     * ``branch_penalty`` cycles for every taken control transfer
       (taken branches, calls, returns, indirect jumps).
+
+    ``krisc5`` models the 5-stage in-order pipeline (IF/ID/EX/MEM/WB)
+    the KRISC core actually is: instruction fetch overlaps the EX stage
+    of the preceding instruction, the MEM unit services cache misses
+    while later instructions keep executing (they queue only on the
+    next memory access or a load-use interlock), multiplies occupy EX
+    for ``1 + mul_extra`` cycles, and taken transfers redirect fetch
+    ``branch_penalty`` cycles after the branch leaves EX.  The same
+    hazard parameters apply, so ``krisc5`` cycle counts are bounded by
+    the ``additive`` ones whenever any overlap is possible.
+
+    ``pipeline_state_cap`` bounds the number of abstract pipeline
+    states the krisc5 *analysis* tracks per program point (the concrete
+    simulator is unaffected): smaller caps merge entry states earlier,
+    trading bound tightness for analysis time.
     """
 
     icache: CacheConfig = field(default_factory=CacheConfig)
@@ -68,10 +91,25 @@ class MachineConfig:
     branch_penalty: int = 2
     mul_extra: int = 2
     load_use_stall: int = 1
+    pipeline_model: str = "additive"
+    pipeline_state_cap: int = 8
+
+    def __post_init__(self):
+        if self.pipeline_model not in PIPELINE_MODELS:
+            raise ValueError(
+                f"unknown pipeline model {self.pipeline_model!r}; "
+                f"expected one of {', '.join(PIPELINE_MODELS)}")
+        if self.pipeline_state_cap < 1:
+            raise ValueError("pipeline_state_cap must be at least 1")
 
     @classmethod
     def default(cls) -> "MachineConfig":
         return cls()
+
+    def with_model(self, model: str) -> "MachineConfig":
+        """This configuration with a different ``pipeline_model``."""
+        from dataclasses import replace
+        return replace(self, pipeline_model=model)
 
     @classmethod
     def no_cache(cls) -> "MachineConfig":

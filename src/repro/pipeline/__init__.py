@@ -1,8 +1,12 @@
 """Pipeline timing analysis (phase 5 of the aiT pipeline)."""
 
-from .analysis import (BlockTiming, PipelineAnalysis, TimingModel,
-                       analyze_pipeline)
+from .analysis import (BlockTiming, Krisc5PipelineAnalysis,
+                       PipelineAnalysis, TimingModel, analyze_pipeline)
+from .states import (BlockWalk, PipeState, PipeStateSet, StateSetStats,
+                     walk_block)
 
 __all__ = [
-    "BlockTiming", "PipelineAnalysis", "TimingModel", "analyze_pipeline",
+    "BlockTiming", "BlockWalk", "Krisc5PipelineAnalysis",
+    "PipeState", "PipeStateSet", "PipelineAnalysis", "StateSetStats",
+    "TimingModel", "analyze_pipeline", "walk_block",
 ]

@@ -4,21 +4,32 @@
 processor pipeline" using "the results of cache analysis ... allowing
 the prediction of pipeline stalls due to cache misses" (Section 3).
 
-The KRISC pipeline timing model is additive (see
-:class:`~repro.cache.config.MachineConfig`), so the per-block
-worst-case contribution is a sum over instructions where each cache
-access contributes its classified worst case:
+Two timing models are supported, selected by
+:attr:`~repro.cache.config.MachineConfig.pipeline_model`:
 
-* always-hit: the hit cost,
-* always-miss / not-classified: the miss penalty on every execution,
-* persistent: hit cost per execution plus a *one-time* miss penalty.
+* ``additive`` — the per-block worst-case contribution is a sum over
+  instructions where each cache access contributes its classified
+  worst case (always-hit: the hit cost; always-miss / not-classified:
+  the miss penalty on every execution; persistent: hit cost per
+  execution plus a *one-time* miss penalty).  The only timing state
+  crossing block boundaries is a possibly pending load (load-use
+  hazard), charged to edges in the worst case.
 
-The only timing state crossing block boundaries is a possibly pending
-load (load-use hazard); it is propagated as a small abstract state (the
-set of registers possibly loaded by a block's last instruction), and
-the stall is charged to edges in the worst case.  Taken-branch
-penalties are likewise charged per edge, so IPET can distinguish taken
-from fall-through executions of a conditional branch.
+* ``krisc5`` — the overlapped 5-stage pipeline.  Per-block costs come
+  from *sets of abstract pipeline states* (:mod:`repro.pipeline.states`)
+  computed to a fixpoint over the whole (context-expanded, possibly
+  VIVU-peeled) task graph on the shared WTO kernel: each entry state
+  is walked through the block's stage-occupancy recurrence under the
+  worst-case cache classifications, yielding the block's worst-case
+  elapsed cycles and the successor boundary states.  Peeled
+  first-iteration contexts are separate task-graph nodes with their
+  own (compulsory-miss) classifications, so first-iteration and
+  steady-state stalls are distinguished without extra machinery.
+
+Both models produce the same :class:`TimingModel` shape, so IPET
+(phase 6) is model-agnostic.  Taken-branch penalties are charged per
+edge in both, so IPET can distinguish taken from fall-through
+executions of a conditional branch.
 """
 
 from __future__ import annotations
@@ -26,15 +37,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis.fixpoint import (FixpointKernel, FixpointSemantics,
+                                 FixpointStats)
 from ..cache.abstract import Classification
 from ..cache.analysis import DCacheResult, ICacheResult
 from ..cache.config import MachineConfig
 from ..cfg.expand import NodeId, TaskEdge, TaskGraph
 from ..cfg.graph import EdgeKind
 from ..isa.instructions import Instruction, Opcode
+from .states import (PipeState, PipeStateSet, StateSetStats,
+                     UNCONDITIONAL_TRANSFERS, walk_block)
 
-_UNCONDITIONAL_TRANSFERS = {Opcode.B, Opcode.BL, Opcode.BR, Opcode.BLR,
-                            Opcode.RET}
+_UNCONDITIONAL_TRANSFERS = UNCONDITIONAL_TRANSFERS
 
 
 @dataclass
@@ -52,6 +66,12 @@ class TimingModel:
 
     blocks: Dict[NodeId, BlockTiming]
     edges: Dict[Tuple[NodeId, NodeId, EdgeKind], int]
+    #: Which timing model produced these costs.
+    model: str = "additive"
+    #: WTO-kernel counters of the pipeline-state fixpoint (krisc5 only).
+    fixpoint_stats: Optional[FixpointStats] = None
+    #: State-set size/merge counters (krisc5 only).
+    state_stats: Optional[StateSetStats] = None
 
     def block_cost(self, node: NodeId) -> int:
         return self.blocks[node].base_cycles
@@ -167,8 +187,128 @@ def _loads_registers(instr: Instruction) -> Set[int]:
     return set()
 
 
+# -- krisc5: abstract pipeline-state analysis ------------------------------------
+
+
+class _PipelineSemantics(FixpointSemantics):
+    """WTO-kernel adapter for pipeline-state sets.
+
+    The domain is finite (residues and interlock windows are bounded
+    by the machine parameters, the set size by the cap), so no
+    widening is needed; joins are union + dominance pruning + the
+    deterministic cap merge.
+    """
+
+    widening = False
+
+    def __init__(self, analysis: "Krisc5PipelineAnalysis"):
+        self.analysis = analysis
+
+    def transfer(self, node: NodeId, state: PipeStateSet) -> PipeStateSet:
+        return self.analysis.exit_states(node, state)
+
+    def join(self, old: PipeStateSet, new: PipeStateSet) -> PipeStateSet:
+        return old.join(new, self.analysis.state_stats)
+
+    def is_bottom(self, state: PipeStateSet) -> bool:
+        return state.is_bottom()
+
+
+class Krisc5PipelineAnalysis:
+    """Abstract pipeline-state analysis for the overlapped 5-stage model.
+
+    Runs a fixpoint over sets of entry pipeline states per task-graph
+    node (on the shared WTO kernel), then extracts per-node worst-case
+    cycles and per-edge redirect penalties in the :class:`TimingModel`
+    shape the additive model produces, keeping IPET unchanged.
+    """
+
+    def __init__(self, graph: TaskGraph, config: MachineConfig,
+                 icache: ICacheResult, dcache: DCacheResult):
+        self.graph = graph
+        self.config = config
+        self.icache = icache
+        self.dcache = dcache
+        self.state_stats = StateSetStats()
+        self._data_outcomes: Dict[
+            NodeId, List[Tuple[int, Classification]]] = {}
+        for node in graph.nodes():
+            self._data_outcomes[node] = [
+                (item.access.index, item.classification)
+                for item in dcache.for_node(node)]
+        # (node, entry state) -> BlockWalk: the fixpoint and the final
+        # cost extraction walk the same pairs, so walks are memoised
+        # (PipeState is frozen/hashable) and counted once.
+        self._walk_cache: Dict[Tuple[NodeId, PipeState], object] = {}
+
+    def _walk(self, node: NodeId, state: PipeState):
+        key = (node, state)
+        walk = self._walk_cache.get(key)
+        if walk is None:
+            self.state_stats.walked_states += 1
+            walk = walk_block(self.graph.blocks[node], state,
+                              self.icache.for_node(node),
+                              self._data_outcomes[node], self.config,
+                              is_exit=not self.graph.successors(node))
+            self._walk_cache[key] = walk
+        return walk
+
+    def exit_states(self, node: NodeId,
+                    entry: PipeStateSet) -> PipeStateSet:
+        return PipeStateSet(
+            (self._walk(node, state).exit_state for state in entry),
+            entry.cap, self.state_stats)
+
+    def analyze(self) -> TimingModel:
+        graph = self.graph
+        cap = self.config.pipeline_state_cap
+        kernel = FixpointKernel(
+            graph.entry, graph.successors, lambda e: e.target,
+            _PipelineSemantics(self), sort_key=TaskGraph.node_key)
+        entries = kernel.solve(PipeStateSet.initial(cap))
+
+        fallback = PipeStateSet.initial(cap)
+        blocks: Dict[NodeId, BlockTiming] = {}
+        for node in graph.nodes():
+            entry = entries.get(node)
+            if entry is None or entry.is_bottom():
+                entry = fallback    # unreachable: any sound cost works
+            self.state_stats.peak_states = max(
+                self.state_stats.peak_states, len(entry))
+            base = 0
+            onetime = 0
+            for state in entry:
+                walk = self._walk(node, state)
+                base = max(base, walk.elapsed)
+                onetime = max(onetime, walk.onetime)
+            blocks[node] = BlockTiming(node, base, onetime)
+
+        # Taken conditional branches pay the fetch redirect on the
+        # edge, exactly like the additive model; cross-block load-use
+        # stalls are part of the entry states instead.
+        edges: Dict[Tuple[NodeId, NodeId, EdgeKind], int] = {}
+        penalty = self.config.branch_penalty
+        for node in graph.nodes():
+            if graph.blocks[node].last.opcode is not Opcode.BCC:
+                continue
+            for edge in graph.successors(node):
+                if edge.kind is EdgeKind.TAKEN:
+                    edges[(edge.source, edge.target, edge.kind)] = penalty
+        return TimingModel(blocks, edges, model="krisc5",
+                           fixpoint_stats=kernel.stats,
+                           state_stats=self.state_stats)
+
+
 def analyze_pipeline(graph: TaskGraph, config: MachineConfig,
                      icache: ICacheResult,
                      dcache: DCacheResult) -> TimingModel:
-    """Derive the worst-case timing model (phase 5 of the pipeline)."""
+    """Derive the worst-case timing model (phase 5 of the pipeline).
+
+    Dispatches on ``config.pipeline_model``: the bit-compatible
+    ``additive`` baseline, or the overlapped ``krisc5`` abstract
+    pipeline-state analysis.
+    """
+    if config.pipeline_model == "krisc5":
+        return Krisc5PipelineAnalysis(graph, config, icache,
+                                      dcache).analyze()
     return PipelineAnalysis(graph, config, icache, dcache).analyze()

@@ -34,7 +34,10 @@ def wcet_dot(result: WCETResult, include_instructions: bool = False) -> str:
     out = lines.append
     out("digraph wcet {")
     out('  node [shape=box, fontname="monospace", fontsize=10];')
-    out('  graph [rankdir=TB];')
+    out(f'  graph [rankdir=TB, labelloc=t, '
+        f'label="WCET {result.wcet_cycles} cyc '
+        f'({result.timing.model} timing model, '
+        f'{result.graph.policy.describe()})"];')
 
     counts = result.path.path.node_counts
     on_path = set(counts)

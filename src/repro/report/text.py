@@ -90,10 +90,17 @@ def wcet_report(result: WCETResult,
     out("")
 
     out("-- Phase 5: pipeline analysis")
+    out(f"   timing model: {result.timing.model}")
     total_base = sum(t.base_cycles for t in result.timing.blocks.values())
     out(f"   cumulative per-execution block cost: {total_base} cycles")
     out(f"   one-time (persistence) cost: "
         f"{result.timing.total_onetime()} cycles")
+    states = result.timing.state_stats
+    if states is not None:
+        out(f"   pipeline states: {states.peak_states} max per block, "
+            f"{states.walked_states} block walks, "
+            f"{states.cap_merges} cap merges "
+            f"(cap {result.config.pipeline_state_cap})")
     out("")
 
     out("-- Phase 6: path analysis (IPET)")

@@ -4,8 +4,17 @@ The paper's safety claims are universally quantified ("results valid
 for every program run and all inputs"), which is only testable against
 an executable semantics.  This simulator is that semantics: it executes
 the same binaries the analyses consume, with the same LRU caches and
-the same additive pipeline timing model defined by
-:class:`~repro.cache.config.MachineConfig`.
+the timing model selected by
+:class:`~repro.cache.config.MachineConfig.pipeline_model`:
+
+* ``additive`` — every instruction pays the sum of its worst-case
+  components (the historical model),
+* ``krisc5`` — the overlapped 5-stage pipeline (IF/ID/EX/MEM/WB):
+  fetch of the next instruction overlaps EX of the current one, the
+  MEM unit services cache misses while later instructions keep
+  executing (in-order issue queues only on the next memory access or
+  a load-use interlock), multiplies occupy EX for extra cycles, and
+  taken transfers redirect fetch after the branch resolves in EX.
 
 The simulator also *enforces the analyses' structural assumptions*: it
 maintains a shadow call stack and traps if a program returns to an
@@ -136,6 +145,17 @@ class Simulator:
         self.fetch_trace: List[FetchEvent] = []
         self._shadow_stack: List[int] = []
         self._pending_load_regs: Tuple[int, ...] = ()
+        # krisc5 pipeline clocks (absolute cycles): when the fetch port
+        # may start the next fetch, when EX accepts the next
+        # instruction, when the MEM unit is free, and per register the
+        # cycle a loaded value becomes forwardable.
+        self._k5_fetch_free = 0
+        self._k5_ex_free = 0
+        self._k5_mem_free = 0
+        self._k5_load_ready: Dict[int, int] = {}
+        # Per-step D-cache access events: (hit, extra_beat) pairs in
+        # execution order, consumed by the krisc5 accounting.
+        self._step_accesses: List[Tuple[bool, bool]] = []
 
     # -- Public API -----------------------------------------------------------
 
@@ -190,6 +210,8 @@ class Simulator:
                 set(instr.read_registers()) & set(self._pending_load_regs):
             cost += self.config.load_use_stall
         loaded_regs: Tuple[int, ...] = ()
+        taken = False
+        self._step_accesses.clear()
 
         next_pc = pc + 4
         op = instr.opcode
@@ -241,23 +263,28 @@ class Simulator:
         elif op is Opcode.B:
             next_pc = instr.branch_target()
             cost += self.config.branch_penalty
+            taken = True
         elif op is Opcode.BCC:
             if _COND_EVAL[instr.cond](self.flags):
                 next_pc = instr.branch_target()
                 cost += self.config.branch_penalty
+                taken = True
         elif op is Opcode.BL:
             self._write(LR, pc + 4)
             self._shadow_stack.append(pc + 4)
             next_pc = instr.branch_target()
             cost += self.config.branch_penalty
+            taken = True
         elif op is Opcode.BLR:
             self._write(LR, pc + 4)
             self._shadow_stack.append(pc + 4)
             next_pc = self.regs[instr.rs1]
             cost += self.config.branch_penalty
+            taken = True
         elif op is Opcode.BR:
             next_pc = self.regs[instr.rs1]
             cost += self.config.branch_penalty
+            taken = True
         elif op is Opcode.RET:
             next_pc = self.regs[LR]
             if not self._shadow_stack:
@@ -269,6 +296,7 @@ class Simulator:
                     f"RET at 0x{pc:x} to 0x{next_pc:x}, but call site "
                     f"expects 0x{expected:x} (LR corrupted)")
             cost += self.config.branch_penalty
+            taken = True
         elif op is Opcode.NOP:
             pass
         elif op is Opcode.HALT:
@@ -277,10 +305,70 @@ class Simulator:
             raise SimulationError(f"unimplemented opcode {op.name}")
 
         self._pending_load_regs = loaded_regs
-        self.cycles += cost
+        if self.config.pipeline_model == "krisc5":
+            self._account_krisc5(instr, fetch_hit, loaded_regs, taken)
+        else:
+            self.cycles += cost
         self.pc = next_pc
         if self.regs[SP] < self.min_sp:
             self.min_sp = self.regs[SP]
+
+    # -- krisc5 overlapped-pipeline accounting --------------------------------
+
+    def _account_krisc5(self, instr: Instruction, fetch_hit: bool,
+                        loaded_regs: Tuple[int, ...],
+                        taken: bool) -> None:
+        """Advance the 5-stage pipeline clocks for one instruction.
+
+        The recurrence is max-plus: an instruction enters EX once its
+        fetch completed, EX is free, and every register it reads is
+        forwardable.  The MEM unit runs in parallel with EX of later
+        instructions (hit-under-miss via the fill/store buffer), so a
+        D-cache miss stalls the pipeline only through a dependent load
+        consumer or the next memory access.  Taken transfers hold the
+        fetch port until ``branch_penalty - 1`` cycles after EX
+        resolves the target.
+        """
+        config = self.config
+        fetch_done = self._k5_fetch_free + 1 + \
+            (0 if fetch_hit else config.icache.miss_penalty)
+        ready = self._k5_load_ready
+        operand_ready = 0
+        if ready:
+            for reg in instr.read_registers():
+                when = ready.get(reg)
+                if when is not None and when > operand_ready:
+                    operand_ready = when
+        issue = max(fetch_done, self._k5_ex_free, operand_ready)
+        occupancy = 1
+        if instr.opcode in (Opcode.MUL, Opcode.MULI):
+            occupancy += config.mul_extra
+        ex_done = issue + occupancy
+        mem_done = None
+        if self._step_accesses:
+            clock = max(ex_done, self._k5_mem_free)
+            for hit, extra in self._step_accesses:
+                if extra:
+                    clock += 1
+                if not hit:
+                    clock += config.dcache.miss_penalty
+            mem_done = clock
+            self._k5_mem_free = clock
+        self._k5_ex_free = ex_done
+        if taken:
+            self._k5_fetch_free = max(
+                issue, ex_done + config.branch_penalty - 1)
+        else:
+            self._k5_fetch_free = issue
+        if ready:
+            for reg in instr.written_registers():
+                ready.pop(reg, None)
+        if loaded_regs:
+            available = (mem_done if mem_done is not None else ex_done) \
+                + config.load_use_stall
+            for reg in loaded_regs:
+                ready[reg] = available
+        self.cycles = max(self._k5_ex_free - 1, self._k5_mem_free)
 
     # -- Helpers --------------------------------------------------------------------
 
@@ -316,6 +404,7 @@ class Simulator:
         hit = self.dcache.access(address)
         if self.collect_trace:
             self.access_trace.append(AccessEvent(pc, address, is_load, hit))
+        self._step_accesses.append((hit, extra))
         cost = 0 if hit else self.config.dcache.miss_penalty
         if extra:
             cost += 1   # additional beat of a block transfer

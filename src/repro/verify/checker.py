@@ -8,10 +8,16 @@ analysis results, and a set of concrete runs, check that
 * every run's cycle count is within the WCET bound (S1),
 * every run's stack high-water mark is within the stack bound (S2),
 * no always-hit access missed and no always-miss access hit (S4),
-* measured loop iteration counts respect the loop bounds (S5).
+* measured loop iteration counts respect the loop bounds (S5),
+* an overlapped-pipeline bound never exceeds the additive reference
+  bound for the same task (S6, when a reference result is supplied —
+  overlap can only tighten).
 
 This is the harness a certification workflow would run in hardware-in-
 the-loop testing to corroborate (never replace) the static argument.
+The concrete runs are always simulated under the *same*
+:class:`~repro.cache.config.MachineConfig` (including its
+``pipeline_model``) the bounds were derived for.
 """
 
 from __future__ import annotations
@@ -63,11 +69,27 @@ class BoundChecker:
 
     def __init__(self, program: Program,
                  wcet: Optional[WCETResult] = None,
-                 stack: Optional[StackAnalysisResult] = None):
+                 stack: Optional[StackAnalysisResult] = None,
+                 reference: Optional[WCETResult] = None):
         self.program = program
         self.wcet = wcet
         self.stack = stack
+        #: Additive-model result for the same task; enables the S6
+        #: model-tightness obligation.
+        self.reference = reference
         self._cache_expectation = self._collect_cache_expectations()
+
+    def check_model_tightness(self, report: VerificationReport) -> None:
+        """S6: an overlapped-model bound must not exceed the additive
+        reference bound (run-independent; checked once per report)."""
+        if self.wcet is None or self.reference is None:
+            return
+        if self.wcet.wcet_cycles > self.reference.wcet_cycles:
+            report.violations.append(Violation(
+                "S6", f"{self.wcet.timing.model} bound "
+                f"{self.wcet.wcet_cycles} exceeds the "
+                f"{self.reference.timing.model} reference bound "
+                f"{self.reference.wcet_cycles}"))
 
     def _collect_cache_expectations(self) -> Dict[int, Classification]:
         """Per-PC *data*-access expectation, when unambiguous.
@@ -185,16 +207,21 @@ def verify_bounds(program: Program,
                   stack: Optional[StackAnalysisResult] = None,
                   input_sets: Optional[
                       Sequence[Dict[int, int]]] = None,
-                  max_steps: int = 2_000_000) -> VerificationReport:
+                  max_steps: int = 2_000_000,
+                  reference: Optional[WCETResult] = None
+                  ) -> VerificationReport:
     """Run the program on each input set and check all bounds.
 
     ``input_sets`` is a sequence of ``{register: value}`` dicts (the
-    empty run is always included).  Returns a
-    :class:`VerificationReport`; ``report.ok`` must be True unless the
-    analyses are broken.
+    empty run is always included); runs are simulated under the config
+    (and hence pipeline model) of ``wcet``.  ``reference`` optionally
+    supplies the additive-model result for the S6 tightness check.
+    Returns a :class:`VerificationReport`; ``report.ok`` must be True
+    unless the analyses are broken.
     """
-    checker = BoundChecker(program, wcet, stack)
+    checker = BoundChecker(program, wcet, stack, reference)
     report = VerificationReport()
+    checker.check_model_tightness(report)
     for arguments in [None] + list(input_sets or []):
         simulator = Simulator(program, config=wcet.config if wcet
                               else None, collect_trace=True)

@@ -71,7 +71,8 @@ class WCETResult:
         lines = [
             f"WCET bound: {self.wcet_cycles} cycles "
             f"(LP relaxation {self.path.lp_bound:.1f}, "
-            f"{'integral' if self.path.integral else 'fractional'})",
+            f"{'integral' if self.path.integral else 'fractional'}, "
+            f"{self.timing.model} timing model)",
             f"Task graph: {self.graph.node_count()} blocks, "
             f"{self.graph.edge_count()} edges, "
             f"{len(self.graph.contexts())} contexts "
@@ -106,13 +107,19 @@ def analyze_wcet(program: Program,
                  use_widening_thresholds: bool = True,
                  narrowing_passes: int = 2,
                  integer: bool = True,
-                 context_policy: Optional[ContextPolicy] = None
+                 context_policy: Optional[ContextPolicy] = None,
+                 pipeline_model: Optional[str] = None,
+                 memory_ranges: Optional[Dict[int, Tuple[int, int]]] = None
                  ) -> WCETResult:
     """Run the complete aiT pipeline on ``program``.
 
     Annotation parameters mirror aiT's user inputs:
 
     * ``register_ranges`` — value ranges of input registers at entry,
+    * ``memory_ranges`` — value ranges of memory words the environment
+      fills before the task runs (input buffers); without them the
+      analysis would treat input data as the constants of the binary
+      image, and bounds would not cover runs on other inputs,
     * ``manual_loop_bounds`` — iteration bounds for loops the analysis
       cannot bound, keyed by loop-header address (under a peeling
       policy the annotation still states the *full* iteration count;
@@ -121,10 +128,14 @@ def analyze_wcet(program: Program,
 
     ``context_policy`` selects the context-sensitivity scheme (VIVU
     loop peeling, k-limited call strings); the default reproduces the
-    historical full-call-string expansion.  Ablation switches
-    (DESIGN.md D1-D5) default to the full analysis.
+    historical full-call-string expansion.  ``pipeline_model``
+    overrides the config's timing model (``"additive"`` or
+    ``"krisc5"``).  Ablation switches (DESIGN.md D1-D5) default to the
+    full analysis.
     """
     config = config or MachineConfig.default()
+    if pipeline_model is not None:
+        config = config.with_model(pipeline_model)
     phases: Dict[str, float] = {}
 
     def timed(name):
@@ -143,7 +154,8 @@ def analyze_wcet(program: Program,
         values = analyze_values(
             graph, domain=domain, register_ranges=register_ranges,
             narrowing_passes=narrowing_passes,
-            use_widening_thresholds=use_widening_thresholds)
+            use_widening_thresholds=use_widening_thresholds,
+            memory_ranges=memory_ranges)
     with timed("loopbounds"):
         loop_bounds = analyze_loop_bounds(values, manual_loop_bounds)
     with timed("icache"):
@@ -164,6 +176,8 @@ def analyze_wcet(program: Program,
         solver_stats["icache"] = icache.fixpoint_stats
     if dcache.fixpoint_stats is not None:
         solver_stats["dcache"] = dcache.fixpoint_stats
+    if timing.fixpoint_stats is not None:
+        solver_stats["pipeline"] = timing.fixpoint_stats
     return WCETResult(program, config, binary_cfg, graph, values,
                       loop_bounds, icache, dcache, timing, path, phases,
                       solver_stats=solver_stats,

@@ -414,3 +414,74 @@ void main() {
     checksum = dst[29] + dst[0];
 }
 """
+
+LOADUSE_CHAIN = """
+// Load-use chains (ludchain): every load's result feeds the next
+// load's address — back-to-back load-use interlocks and data-dependent
+// table walks (pipeline-stress kernel for the krisc5 timing model).
+int next[16] = {5, 9, 12, 1, 14, 3, 7, 11, 0, 2, 4, 6, 8, 10, 13, 15};
+int hops;
+
+void main() {
+    int p = 0;
+    int i;
+    hops = 0;
+    for (i = 0; i < 48; i = i + 1) {
+        p = next[p & 15];
+        hops = hops + p;
+    }
+}
+"""
+
+BRANCH_DENSE = """
+// Branch-dense control (branchy): three data-dependent conditionals
+// per iteration over tiny blocks — taken-branch redirect pressure
+// (pipeline-stress kernel for the krisc5 timing model).
+int flags[24];
+int ups;
+int downs;
+int zips;
+
+void main() {
+    int i;
+    ups = 0;
+    downs = 0;
+    zips = 0;
+    for (i = 0; i < 24; i = i + 1) {
+        int v = flags[i];
+        if (v & 1) {
+            ups = ups + 1;
+        } else {
+            downs = downs + 1;
+        }
+        if (v & 2) {
+            zips = zips + v;
+        }
+        if (ups > downs) {
+            zips = zips + 1;
+        } else {
+            zips = zips - 1;
+        }
+    }
+}
+"""
+
+MUL_BURST = """
+// Multiply bursts (mulburst): two multiplies per iteration keep the
+// EX stage busy so instruction fetches hide behind the interlock
+// (pipeline-stress kernel for the krisc5 timing model).
+int coeff[12] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8};
+int acc;
+
+void main() {
+    int x = 3;
+    int h = 0;
+    int g = 0;
+    int i;
+    for (i = 0; i < 12; i = i + 1) {
+        h = (h * x + coeff[i]) & 0xFFFF;
+        g = g + ((h * h) & 0xFF);
+    }
+    acc = g + h;
+}
+"""

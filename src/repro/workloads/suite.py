@@ -39,6 +39,19 @@ class Workload:
     def compile(self) -> Program:
         return compile_program(self.source)
 
+    def memory_ranges(self, program: Program) -> Dict[int, Tuple[int, int]]:
+        """Value-range annotations for the input arrays: the analysis
+        must assume any value the randomiser may store, not the zeros
+        (or constants) of the binary image — otherwise input-dependent
+        branches would be statically decided and pruned, and the bound
+        would not cover randomised runs."""
+        ranges: Dict[int, Tuple[int, int]] = {}
+        for name, (length, (low, high)) in self.input_arrays.items():
+            base = program.symbol_address(f"g_{name}")
+            for offset in range(length):
+                ranges[base + 4 * offset] = (low, high)
+        return ranges
+
 
 WORKLOADS: Dict[str, Workload] = {}
 
@@ -156,6 +169,25 @@ _register(Workload(
     source=kernels.LCDNUM,
     input_arrays={"input": (10, (0, 255))}))
 
+_register(Workload(
+    name="ludchain",
+    description="dependent table walk, back-to-back load-use chains",
+    category="pipeline",
+    source=kernels.LOADUSE_CHAIN))
+
+_register(Workload(
+    name="branchy",
+    description="branch-dense control, tiny blocks, redirect pressure",
+    category="pipeline",
+    source=kernels.BRANCH_DENSE,
+    input_arrays={"flags": (24, (0, 3))}))
+
+_register(Workload(
+    name="mulburst",
+    description="multiply bursts keeping the EX stage busy",
+    category="pipeline",
+    source=kernels.MUL_BURST))
+
 
 def workload_names() -> List[str]:
     return sorted(WORKLOADS)
@@ -184,10 +216,11 @@ def analyze_workload(workload: Workload,
     from ..cfg.expand import expand_task
 
     program = workload.compile()
+    memory_ranges = workload.memory_ranges(program)
     manual: Dict[int, int] = {}
     if workload.manual_bounds_in_order:
         graph = expand_task(build_cfg(program))
-        values = analyze_values(graph)
+        values = analyze_values(graph, memory_ranges=memory_ranges)
         bounds = analyze_loop_bounds(values)
         unbounded = sorted(
             {header.block for header, bound in bounds.items()
@@ -196,7 +229,7 @@ def analyze_workload(workload: Workload,
                                   workload.manual_bounds_in_order):
             manual[address] = bound
     return analyze_wcet(program, config=config, manual_loop_bounds=manual,
-                        **kwargs)
+                        memory_ranges=memory_ranges, **kwargs)
 
 
 # -- Simulation with input randomisation ----------------------------------------

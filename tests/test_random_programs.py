@@ -6,18 +6,47 @@ random inputs.  For each: the concrete run's final register and memory
 values must be contained in the abstract state value analysis computed
 at the exit — over every domain — and the WCET/stack bounds must cover
 the run.
+
+The model×policy soundness matrix re-checks the WCET obligation in
+every combination of timing model (``additive``, ``krisc5``) and
+context policy (``full``, ``klimited``, ``vivu``): the simulated
+cycles under a model must never exceed the bound derived under that
+model, whatever the expansion scheme.  ``REPRO_FUZZ_EXAMPLES``
+overrides the per-combination example budget (CI smoke uses a reduced
+one).
 """
+
+import os
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import Const, Interval, StridedInterval, analyze_values
+from repro.cache.config import CacheConfig, MachineConfig
 from repro.cfg import build_cfg, expand_task
+from repro.cfg.contexts import make_policy
 from repro.isa import assemble
 from repro.sim import run_program
 from repro.stack import analyze_stack
 from repro.wcet import analyze_wcet
+
+MATRIX_MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "10"))
+
+#: Machine configurations the soundness matrix sweeps: the default
+#: point plus an adversarial one (tiny direct-mapped caches, odd
+#: penalties, a 2-cycle interlock window, state-set cap forced to 1)
+#: so violations that hide at the default parameters surface in CI.
+MACHINES = {
+    "default": MachineConfig.default(),
+    "adverse": MachineConfig(
+        icache=CacheConfig(num_sets=2, associativity=1, line_size=8,
+                           miss_penalty=13),
+        dcache=CacheConfig(num_sets=2, associativity=1, line_size=8,
+                           miss_penalty=7),
+        branch_penalty=3, mul_extra=5, load_use_stall=2,
+        pipeline_state_cap=1),
+}
 
 # Registers the generator assigns freely (R1 is the data base pointer,
 # R0 the input; SP/LR stay untouched).
@@ -141,6 +170,59 @@ def test_wcet_and_stack_bounds_cover_random_runs(data):
                             max_steps=100_000)
     assert execution.cycles <= wcet.wcet_cycles
     assert execution.max_stack_usage <= stack.bound
+
+
+@pytest.mark.parametrize("machine,model,policy", [
+    (machine, model, policy)
+    for machine in MACHINES
+    for model in ("additive", "krisc5")
+    for policy in ("full", "klimited", "vivu")])
+@given(data=programs())
+@settings(max_examples=MATRIX_MAX_EXAMPLES, deadline=None)
+def test_model_policy_soundness_matrix(machine, model, policy, data):
+    """Simulated cycles ≤ WCET bound in every machine×model×policy
+    combination.
+
+    The run is simulated under the same machine config the bound was
+    derived for, so the krisc5 rows check the overlapped pipeline
+    end to end (abstract pipeline states vs the cycle-accurate
+    5-stage simulator) and the additive rows guard the baseline —
+    both at the default machine parameters and at an adversarial
+    point (tiny caches, large penalties, cap 1).
+    """
+    source, input_range, input_value = data
+    program = assemble(source)
+    config = MACHINES[machine].with_model(model)
+    wcet = analyze_wcet(program, config=config,
+                        register_ranges={0: input_range},
+                        context_policy=make_policy(policy))
+    assert wcet.config.pipeline_model == model
+    assert wcet.timing.model == model
+    execution = run_program(program, config=wcet.config,
+                            arguments={0: input_value},
+                            max_steps=100_000)
+    assert execution.cycles <= wcet.wcet_cycles, (
+        f"{machine}/{model}/{policy}: run took {execution.cycles}, "
+        f"bound is {wcet.wcet_cycles}")
+
+
+@given(data=programs())
+@settings(max_examples=MATRIX_MAX_EXAMPLES, deadline=None)
+def test_krisc5_bound_not_looser_than_additive(data):
+    """Overlap can only tighten: krisc5 WCET ≤ additive WCET, and the
+    krisc5 machine is never slower than the additive one on a run."""
+    source, input_range, input_value = data
+    program = assemble(source)
+    additive = analyze_wcet(program, register_ranges={0: input_range})
+    krisc5 = analyze_wcet(program, register_ranges={0: input_range},
+                          pipeline_model="krisc5")
+    assert krisc5.wcet_cycles <= additive.wcet_cycles
+    run_additive = run_program(program, arguments={0: input_value},
+                               max_steps=100_000)
+    run_krisc5 = run_program(program, config=krisc5.config,
+                             arguments={0: input_value},
+                             max_steps=100_000)
+    assert run_krisc5.cycles <= run_additive.cycles
 
 
 @given(data=programs())

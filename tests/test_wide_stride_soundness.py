@@ -1,0 +1,112 @@
+"""Regression test for the wide-stride data-access soundness corner.
+
+``repro.cache.analysis._lines_of_access`` lets congruence-aware
+domains (strided intervals) expose the *sparse* value set of a scaled
+array access, so a stride that skips whole cache lines produces a
+candidate-line set with gaps instead of a dense range.  That is a
+precision win — but it is only sound if every line the program
+actually touches is in the sparse set, and if the resulting must/may
+classifications survive a traced concrete run (the S4 obligation).
+
+This pins the corner down end to end: a column walk whose stride (64
+bytes) is four cache lines wide, analysed under the strided-interval
+domain, cross-checked against the simulator's access events — under
+both timing models and with loop peeling (whose first-iteration
+copies re-classify the compulsory misses).
+"""
+
+import pytest
+
+from repro.analysis import StridedInterval
+from repro.cfg.contexts import VIVU
+from repro.lang import compile_program
+from repro.sim import Simulator
+from repro.verify import BoundChecker, VerificationReport, verify_bounds
+from repro.wcet import analyze_wcet
+
+# Stride-16 walk through int m[256]: byte stride 64 = 4 cache lines of
+# the default 16-byte geometry, so a dense-range approximation would
+# include 3 untouched lines per step while the sparse set must skip
+# exactly those and no more.
+COLUMN_WALK = """
+int m[256];
+int colsum;
+void main() {
+    int j;
+    colsum = 0;
+    for (j = 0; j < 16; j = j + 1) {
+        colsum = colsum + m[j * 16 + 3];
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    program = compile_program(COLUMN_WALK)
+    return program, analyze_wcet(program, domain=StridedInterval)
+
+
+def test_stride_produces_a_sparse_line_set(analyzed):
+    program, wcet = analyzed
+    config = wcet.dcache.config
+    sparse = []
+    for item in wcet.dcache.all_accesses():
+        values = item.access.address.possible_values(1024)
+        if values is None or len(values) < 2:
+            continue
+        lines = sorted({config.line_of(v) for v in values})
+        gaps = sum(b - a - 1 for a, b in zip(lines, lines[1:]))
+        if gaps:
+            sparse.append((lines, gaps))
+    assert sparse, "expected at least one line-skipping strided access"
+    lines, gaps = max(sparse, key=lambda entry: entry[1])
+    # Stride 64 over 16-byte lines: consecutive candidates are 4 apart.
+    assert all(b - a == 4 for a, b in zip(lines, lines[1:]))
+
+
+def test_sparse_lines_cover_every_concrete_access(analyzed):
+    program, wcet = analyzed
+    config = wcet.dcache.config
+    simulator = Simulator(program, config=wcet.config, collect_trace=True)
+    simulator.run()
+    candidate_lines = {}
+    for item in wcet.dcache.all_accesses():
+        pc = item.access.instruction.address
+        values = item.access.address.possible_values(1024)
+        if values is None:
+            continue
+        candidate_lines.setdefault(pc, set()).update(
+            config.line_of(v) for v in values)
+    checked = 0
+    for event in simulator.access_trace:
+        lines = candidate_lines.get(event.pc)
+        if lines is None:
+            continue
+        checked += 1
+        assert config.line_of(event.address) in lines, (
+            f"access at 0x{event.pc:x} touched line "
+            f"{config.line_of(event.address)} outside the sparse "
+            f"candidate set {sorted(lines)}")
+    assert checked, "trace covered no strided accesses"
+
+
+def test_classifications_sound_against_traced_run(analyzed):
+    program, wcet = analyzed
+    checker = BoundChecker(program, wcet)
+    report = VerificationReport()
+    simulator = Simulator(program, config=wcet.config, collect_trace=True)
+    checker.check_run(simulator.run(), report)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+@pytest.mark.parametrize("model", ["additive", "krisc5"])
+def test_stride_corner_sound_under_both_models_and_peeling(model):
+    program = compile_program(COLUMN_WALK)
+    additive = analyze_wcet(program, domain=StridedInterval,
+                            context_policy=VIVU(peel=1))
+    wcet = analyze_wcet(program, domain=StridedInterval,
+                        context_policy=VIVU(peel=1),
+                        pipeline_model=model)
+    report = verify_bounds(program, wcet, reference=additive)
+    assert report.ok, [str(v) for v in report.violations]
