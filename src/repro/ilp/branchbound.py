@@ -1,19 +1,31 @@
-"""Branch-and-bound integer programming on top of the simplex.
+"""Branch-and-bound integer programming on top of the revised simplex.
 
 IPET relaxations are network-flow-like and usually integral; when they
 are not, branch and bound recovers the exact integer optimum.  Because
 IPET *maximises*, any LP relaxation value is itself a sound WCET bound,
 so the solver can also be used in relaxation-only mode.
+
+Branching is on *variable bounds*, which the bounded-variable revised
+simplex handles natively: a child node tightens one bound, the parent's
+optimal basis stays dual-feasible, and the node is re-optimised by a
+handful of dual simplex pivots from the parent basis (a warm start)
+instead of a two-phase cold solve.  The parent basis is snapshotted
+once and shared by both children; nodes whose dual re-optimisation
+stalls numerically fall back to a cold solve.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .model import LinearProgram, Sense, Solution
-from .simplex import solve_lp
+import numpy as np
+
+from .model import LinearProgram, Solution
+from .presolve import presolve
+from .revised import CoreLP, RevisedSimplex
+from .stats import ILPStats
 
 _INT_TOLERANCE = 1e-6
 
@@ -26,7 +38,8 @@ class BranchStats:
     depth_reached: int = 0
 
 
-def solve_ilp(program: LinearProgram, max_nodes: int = 10_000
+def solve_ilp(program: LinearProgram, max_nodes: int = 10_000,
+              stats: Optional[ILPStats] = None
               ) -> Tuple[Solution, BranchStats]:
     """Maximise ``program`` with integrality on its integer variables.
 
@@ -34,66 +47,117 @@ def solve_ilp(program: LinearProgram, max_nodes: int = 10_000
     ``RuntimeError`` if the node budget is exhausted (callers can then
     fall back to the relaxation bound, which is sound for WCET).
     """
-    stats = BranchStats()
-    root = solve_lp(program)
-    if not root.is_optimal:
-        return root, stats
-    incumbent: Optional[Solution] = None
-    # Each stack entry: list of extra bound constraints (var, sense, rhs).
-    stack: List[List[Tuple[int, Sense, float]]] = [[]]
+    stats = stats if stats is not None else ILPStats()
+    bstats = BranchStats()
+
+    pre = presolve(program, stats, integral=True)
+    if pre.status == "infeasible":
+        return Solution("infeasible"), bstats
+    if pre.num_rows == 0:
+        if pre.unbounded_pending:
+            return Solution("unbounded"), bstats
+        if pre.fractional_int_fix:
+            return Solution("infeasible"), bstats
+        bstats.nodes_explored = 1
+        stats.bb_nodes += 1
+        return _rounded(program, pre.postsolve(())), bstats
+
+    core = CoreLP(pre)
+    simplex = RevisedSimplex(core, stats)
+    status = simplex.solve_two_phase()
+    stats.cold_solves += 1
+    if status != "optimal":
+        return Solution(status), bstats
+    if pre.unbounded_pending:
+        return Solution("unbounded"), bstats
+    if pre.fractional_int_fix:
+        return Solution("infeasible"), bstats
+
+    int_cols = np.flatnonzero(pre.is_integer)
+
+    incumbent_obj: Optional[float] = None
+    incumbent_vals: Optional[np.ndarray] = None
+
+    # Each node: cumulative original-space bound overrides for branched
+    # columns, the parent's basis snapshot (None = root, already solved
+    # in ``simplex``), and the branching depth.
+    Node = Tuple[Dict[int, Tuple[float, float]], Optional[tuple], int]
+    stack = [({}, None, 0)]  # type: list[Node]
+
     while stack:
-        extra = stack.pop()
-        stats.nodes_explored += 1
-        stats.depth_reached = max(stats.depth_reached, len(extra))
-        if stats.nodes_explored > max_nodes:
+        delta, snap, depth = stack.pop()
+        bstats.nodes_explored += 1
+        stats.bb_nodes += 1
+        bstats.depth_reached = max(bstats.depth_reached, depth)
+        if bstats.nodes_explored > max_nodes:
             raise RuntimeError("branch-and-bound node budget exhausted")
-        relaxed = _solve_with_extra(program, extra)
-        if not relaxed.is_optimal:
-            continue
-        if incumbent is not None and \
-                relaxed.objective <= incumbent.objective + 1e-9:
-            continue   # cannot beat the incumbent
-        fractional = _most_fractional(program, relaxed)
+
+        if snap is None:
+            solved = True             # root: solved above
+        else:
+            simplex.restore(snap)
+            for col, (lo, hi) in delta.items():
+                clo, chi = core.set_structural_bounds(col, lo, hi)
+                simplex.lower[col] = clo
+                simplex.upper[col] = chi
+            outcome = simplex.reoptimize_dual()
+            if outcome == "fallback":
+                simplex = RevisedSimplex(core, stats)
+                for col, (lo, hi) in delta.items():
+                    clo, chi = core.set_structural_bounds(col, lo, hi)
+                    simplex.lower[col] = clo
+                    simplex.upper[col] = chi
+                outcome = simplex.solve_two_phase()
+                stats.cold_solves += 1
+            else:
+                stats.warm_start_hits += 1
+            solved = outcome == "optimal"
+        if not solved:
+            continue                  # infeasible subtree
+
+        values = simplex.structural_values()
+        # Full-program objective (postsolve replays presolve's variable
+        # eliminations, so every folded-out term is accounted exactly).
+        objective = pre.postsolve(values).objective
+        if incumbent_obj is not None and \
+                objective <= incumbent_obj + 1e-9:
+            continue                  # cannot beat the incumbent
+
+        fractional = _most_fractional(int_cols, values)
         if fractional is None:
-            rounded = Solution(
-                "optimal", relaxed.objective,
-                {k: round(v) if program.variables[k].is_integer else v
-                 for k, v in relaxed.values.items()})
-            incumbent = rounded
+            incumbent_obj = objective
+            incumbent_vals = values.copy()
             continue
-        index, value = fractional
-        stack.append(extra + [(index, Sense.GE, math.ceil(value))])
-        stack.append(extra + [(index, Sense.LE, math.floor(value))])
-    if incumbent is None:
-        return Solution("infeasible"), stats
-    return incumbent, stats
+        col, value = fractional
+        cur_lo, cur_hi = delta.get(
+            col, (float(pre.lower[col]), float(pre.upper[col])))
+        parent_snap = simplex.snapshot()
+        stack.append(({**delta, col: (float(math.ceil(value)), cur_hi)},
+                      parent_snap, depth + 1))
+        stack.append(({**delta, col: (cur_lo, float(math.floor(value)))},
+                      parent_snap, depth + 1))
+
+    if incumbent_vals is None:
+        return Solution("infeasible"), bstats
+    solution = pre.postsolve(incumbent_vals)
+    return Solution("optimal", incumbent_obj,
+                    _rounded(program, solution).values), bstats
 
 
-def _solve_with_extra(program: LinearProgram,
-                      extra: List[Tuple[int, Sense, float]]) -> Solution:
-    if not extra:
-        return solve_lp(program)
-    from .model import Constraint
-    clone = LinearProgram(program.name)
-    clone.variables = program.variables
-    clone.objective = program.objective
-    clone._by_name = program._by_name
-    clone.constraints = list(program.constraints) + [
-        Constraint({index: 1.0}, sense, rhs, "branch")
-        for index, sense, rhs in extra]
-    return solve_lp(clone)
+def _rounded(program: LinearProgram, solution: Solution) -> Solution:
+    values = {k: float(round(v)) if program.variables[k].is_integer else v
+              for k, v in solution.values.items()}
+    return Solution(solution.status, solution.objective, values)
 
 
-def _most_fractional(program: LinearProgram,
-                     solution: Solution) -> Optional[Tuple[int, float]]:
+def _most_fractional(int_cols: np.ndarray,
+                     values: np.ndarray) -> Optional[Tuple[int, float]]:
     best: Optional[Tuple[int, float]] = None
     best_score = _INT_TOLERANCE
-    for variable in program.variables:
-        if not variable.is_integer:
-            continue
-        value = solution.values.get(variable.index, 0.0)
+    for col in int_cols:
+        value = float(values[col])
         score = abs(value - round(value))
         if score > best_score:
             best_score = score
-            best = (variable.index, value)
+            best = (int(col), value)
     return best

@@ -1,0 +1,352 @@
+"""Bounded-variable revised simplex on sparse data.
+
+Replaces the dense two-phase tableau: the constraint matrix stays
+sparse (:class:`~repro.ilp.sparse.SparseMatrix`), only the ``m x m``
+basis inverse is dense, and variable upper bounds are handled natively
+by the ratio test (nonbasic-at-upper states and bound flips) instead of
+being expanded into extra constraint rows.  Pricing is Dantzig (most
+negative reduced cost) with Bland's rule as a degeneracy fallback, so
+the common case pays for the cheap rule and cycling is still
+impossible.  The dual simplex entry point re-optimises after bound
+changes from a still-dual-feasible basis — the warm start that makes
+branch-and-bound nodes cheap.
+
+Internally the program is the equality-form core ``maximise c x
+s.t. A x = b, lo <= x <= hi`` built by :class:`CoreLP` from a presolved
+program: structural columns shifted to zero lower bound, one slack per
+inequality row, and artificial columns only for rows whose slack cannot
+start basic-feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import Sense
+from .presolve import PresolvedLP
+from .sparse import SparseMatrix
+from .stats import ILPStats
+
+NB_LOWER, NB_UPPER, BASIC = 0, 1, 2
+
+_DUAL_TOL = 1e-9      # reduced-cost optimality tolerance
+_FEAS_TOL = 1e-7      # primal feasibility tolerance
+_PIVOT_TOL = 1e-8     # minimum acceptable pivot magnitude
+
+
+class CoreLP:
+    """Equality-form core of a presolved LP (see module docstring)."""
+
+    def __init__(self, pre: PresolvedLP):
+        self.pre = pre
+        n = pre.num_cols
+        m = pre.num_rows
+        self.n_struct = n
+        self.m = m
+        #: Original-space lower bounds of the structurals (the shift).
+        self.shift = pre.lower.copy()
+
+        triplets: List[Tuple[int, int, float]] = []
+        b = np.zeros(m)
+        slack_of_row = np.full(m, -1, dtype=np.intp)
+        art_rows: List[int] = []
+        basis_col_of_row = np.zeros(m, dtype=np.intp)
+        slack_cursor = n
+
+        prepared = []
+        for i, (coeffs, sense, rhs) in enumerate(pre.rows):
+            shifted = rhs - sum(a * self.shift[j]
+                                for j, a in coeffs.items())
+            if sense is Sense.GE:
+                coeffs = {j: -a for j, a in coeffs.items()}
+                shifted = -shifted
+                sense = Sense.LE
+            sign = -1.0 if shifted < 0 else 1.0
+            prepared.append((
+                {j: sign * a for j, a in coeffs.items()},
+                sense, sign * shifted, sign))
+            if sense is Sense.LE:
+                slack_of_row[i] = slack_cursor
+                slack_cursor += 1
+        n_slack = slack_cursor - n
+
+        art_cursor = slack_cursor
+        for i, (coeffs, sense, rhs, sign) in enumerate(prepared):
+            for j, a in coeffs.items():
+                triplets.append((i, j, a))
+            b[i] = rhs
+            if slack_of_row[i] >= 0:
+                triplets.append((i, slack_of_row[i], sign))
+            if sense is Sense.LE and sign > 0:
+                basis_col_of_row[i] = slack_of_row[i]
+            else:
+                # EQ row, or a negated inequality whose slack enters
+                # with coefficient -1: needs an artificial to start.
+                triplets.append((i, art_cursor, 1.0))
+                basis_col_of_row[i] = art_cursor
+                art_rows.append(i)
+                art_cursor += 1
+
+        self.ncols = art_cursor
+        self.art_start = slack_cursor
+        self.A = SparseMatrix(m, self.ncols, triplets)
+        self.b = b
+        self.initial_basis = basis_col_of_row
+
+        self.c = np.zeros(self.ncols)
+        self.c[:n] = pre.objective
+        self.lower = np.zeros(self.ncols)
+        self.upper = np.full(self.ncols, np.inf)
+        self.upper[:n] = pre.upper - self.shift
+
+    def set_structural_bounds(self, col: int, lo: float,
+                              hi: float) -> Tuple[float, float]:
+        """Shift original-space bounds of a structural column into core
+        space (callers assign the result into a solver's arrays)."""
+        return lo - self.shift[col], hi - self.shift[col]
+
+
+class RevisedSimplex:
+    """One solver instance: mutable bounds + basis over a CoreLP."""
+
+    def __init__(self, core: CoreLP, stats: Optional[ILPStats] = None,
+                 bland_threshold: int = 32, refactor_every: int = 64,
+                 max_iterations: int = 200_000):
+        self.core = core
+        self.stats = stats if stats is not None else ILPStats()
+        self.bland_threshold = bland_threshold
+        self.refactor_every = refactor_every
+        self.max_iterations = max_iterations
+
+        self.lower = core.lower.copy()
+        self.upper = core.upper.copy()
+        self.basis = core.initial_basis.copy()
+        self.vstat = np.full(core.ncols, NB_LOWER, dtype=np.int8)
+        self.vstat[self.basis] = BASIC
+        self.Binv = np.eye(core.m)
+        self.xB = core.b.copy()
+        self._pivots_since_refactor = 0
+
+    # -- Basis bookkeeping ---------------------------------------------------
+
+    def snapshot(self):
+        return (self.basis.copy(), self.vstat.copy(), self.Binv.copy(),
+                self.lower.copy(), self.upper.copy())
+
+    def restore(self, snap) -> None:
+        basis, vstat, binv, lower, upper = snap
+        self.basis = basis.copy()
+        self.vstat = vstat.copy()
+        self.Binv = binv.copy()
+        self.lower = lower.copy()
+        self.upper = upper.copy()
+        self.xB = self._compute_xB()
+        self._pivots_since_refactor = 0
+
+    def _nonbasic_values(self) -> np.ndarray:
+        x = np.where(self.vstat == NB_UPPER,
+                     np.where(np.isfinite(self.upper), self.upper, 0.0),
+                     self.lower)
+        x[self.vstat == BASIC] = 0.0
+        return x
+
+    def _compute_xB(self) -> np.ndarray:
+        xn = self._nonbasic_values()
+        return self.Binv @ (self.core.b - self.core.A.dot(xn))
+
+    def values(self) -> np.ndarray:
+        """Full solution vector in core (shifted) space."""
+        x = self._nonbasic_values()
+        x[self.basis] = self.xB
+        return x
+
+    def structural_values(self) -> np.ndarray:
+        """Structural solution in original space."""
+        return self.values()[:self.core.n_struct] + self.core.shift
+
+    def objective(self) -> float:
+        return float(self.core.c @ self.values())
+
+    def _refactor(self) -> None:
+        B = self.core.A.dense_submatrix(self.basis)
+        self.Binv = np.linalg.inv(B)
+        self.xB = self._compute_xB()
+        self._pivots_since_refactor = 0
+        self.stats.refactorizations += 1
+
+    def _update_basis_inverse(self, w: np.ndarray, r: int) -> None:
+        pivot = w[r]
+        self.Binv[r, :] /= pivot
+        column = w.copy()
+        column[r] = 0.0
+        self.Binv -= np.outer(column, self.Binv[r, :])
+
+    def _reduced_costs(self, c: np.ndarray) -> np.ndarray:
+        y = c[self.basis] @ self.Binv
+        return c - self.core.A.t_dot(y)
+
+    # -- Primal simplex ------------------------------------------------------
+
+    def solve_two_phase(self) -> str:
+        """Cold start: phase 1 to feasibility, phase 2 to optimality."""
+        core = self.core
+        if core.art_start < core.ncols:
+            c1 = np.zeros(core.ncols)
+            c1[core.art_start:] = -1.0
+            status = self._primal(c1, phase=1)
+            if status != "optimal":  # pragma: no cover - phase 1 bounded
+                raise RuntimeError("phase 1 terminated " + status)
+            art_value = -float(c1 @ self.values())
+            if art_value > _FEAS_TOL:
+                return "infeasible"
+            # Pin artificials at zero; basic ones stay harmlessly basic.
+            self.upper[core.art_start:] = 0.0
+        return self._primal(core.c, phase=2)
+
+    def _primal(self, c: np.ndarray, phase: int) -> str:
+        degenerate_run = 0
+        bland = False
+        for _ in range(self.max_iterations):
+            d = self._reduced_costs(c)
+            movable = self.upper > self.lower
+            at_lower = (self.vstat == NB_LOWER) & movable & (d > _DUAL_TOL)
+            at_upper = (self.vstat == NB_UPPER) & movable & (d < -_DUAL_TOL)
+            eligible = np.flatnonzero(at_lower | at_upper)
+            if len(eligible) == 0:
+                return "optimal"
+            if bland:
+                j = int(eligible[0])
+                self.stats.bland_pivots += 1
+            else:
+                j = int(eligible[np.argmax(np.abs(d[eligible]))])
+
+            step = self._primal_step(j)
+            if step is None:
+                return "unbounded"
+            delta = step
+            if delta > _FEAS_TOL:
+                degenerate_run = 0
+                bland = False
+            else:
+                degenerate_run += 1
+                if degenerate_run > self.bland_threshold:
+                    bland = True
+            if phase == 1:
+                self.stats.phase1_pivots += 1
+            else:
+                self.stats.phase2_pivots += 1
+        raise RuntimeError("simplex iteration limit exceeded")
+
+    def _primal_step(self, j: int) -> Optional[float]:
+        """Advance entering column ``j``; returns the step length, or
+        None when the LP is unbounded in that direction."""
+        t = 1.0 if self.vstat[j] == NB_LOWER else -1.0
+        w = self.Binv @ self.core.A.dense_col(j)
+        coef = -t * w                      # d(xB)/d(step)
+
+        lowB = self.lower[self.basis]
+        upB = self.upper[self.basis]
+        ratios = np.full(self.core.m, np.inf)
+        dec = coef < -_PIVOT_TOL
+        inc = coef > _PIVOT_TOL
+        with np.errstate(invalid="ignore"):
+            ratios[dec] = (self.xB[dec] - lowB[dec]) / (-coef[dec])
+            ratios[inc] = (upB[inc] - self.xB[inc]) / coef[inc]
+        np.maximum(ratios, 0.0, out=ratios)
+
+        bound_gap = self.upper[j] - self.lower[j]
+        row_min = float(ratios.min()) if self.core.m else np.inf
+
+        if bound_gap <= row_min:
+            if np.isinf(bound_gap):
+                return None
+            # Bound flip: j runs to its other bound, basis unchanged.
+            self.xB += coef * bound_gap
+            self.vstat[j] = NB_UPPER if t > 0 else NB_LOWER
+            self.stats.bound_flips += 1
+            return float(bound_gap)
+
+        if np.isinf(row_min):
+            return None
+        # Leaving row: smallest ratio, ties by smallest variable index
+        # (the Bland tie-break, also used by the dense reference).
+        candidates = np.flatnonzero(ratios <= row_min + _DUAL_TOL)
+        r = int(candidates[np.argmin(self.basis[candidates])])
+
+        entering_value = (self.lower[j] if t > 0 else self.upper[j]) \
+            + t * row_min
+        self.xB += coef * row_min
+        leaving = self.basis[r]
+        self.vstat[leaving] = NB_LOWER if coef[r] < 0 else NB_UPPER
+        self.vstat[j] = BASIC
+        self.basis[r] = j
+        self.xB[r] = entering_value
+        self._update_basis_inverse(w, r)
+        self._pivots_since_refactor += 1
+        if self._pivots_since_refactor >= self.refactor_every:
+            self._refactor()
+        return row_min
+
+    # -- Dual simplex (warm-started re-optimisation) -------------------------
+
+    def reoptimize_dual(self, max_iterations: int = 2_000) -> str:
+        """Re-optimise after bound changes, starting from the current
+        (still dual-feasible) basis.  Returns "optimal", "infeasible",
+        or "fallback" when the caller should cold-start instead."""
+        core = self.core
+        if np.any(self.lower > self.upper + _FEAS_TOL):
+            return "infeasible"
+        self.xB = self._compute_xB()
+        c = core.c
+        for _ in range(max_iterations):
+            lowB = self.lower[self.basis]
+            upB = self.upper[self.basis]
+            viol_low = lowB - self.xB
+            viol_up = self.xB - upB
+            viol = np.maximum(viol_low, viol_up)
+            worst = float(viol.max()) if core.m else 0.0
+            if worst <= _FEAS_TOL:
+                return "optimal"
+            rows = np.flatnonzero(viol >= worst - _DUAL_TOL)
+            r = int(rows[np.argmin(self.basis[rows])])
+            below = viol_low[r] >= viol_up[r]
+
+            alpha = core.A.t_dot(self.Binv[r, :])
+            # Leaving at its violated bound; entering must move x_Br
+            # toward it.  Folding the direction into alpha unifies the
+            # below/above cases (see dual ratio test derivation).
+            alpha_dir = alpha if below else -alpha
+            movable = self.upper > self.lower
+            at_lower = (self.vstat == NB_LOWER) & movable & \
+                (alpha_dir < -_PIVOT_TOL)
+            at_upper = (self.vstat == NB_UPPER) & movable & \
+                (alpha_dir > _PIVOT_TOL)
+            eligible = np.flatnonzero(at_lower | at_upper)
+            if len(eligible) == 0:
+                return "infeasible"
+
+            d = self._reduced_costs(c)
+            # Clamp tiny dual infeasibilities so ratios stay >= 0.
+            dd = np.where(self.vstat == NB_LOWER,
+                          np.minimum(d, 0.0), np.maximum(d, 0.0))
+            ratios = dd[eligible] / alpha_dir[eligible]
+            best = float(ratios.min())
+            ties = eligible[np.flatnonzero(ratios <= best + _DUAL_TOL)]
+            j = int(ties[0])
+
+            w = self.Binv @ core.A.dense_col(j)
+            if abs(w[r]) < _PIVOT_TOL:
+                return "fallback"
+            self.vstat[self.basis[r]] = NB_LOWER if below else NB_UPPER
+            self.vstat[j] = BASIC
+            self.basis[r] = j
+            self._update_basis_inverse(w, r)
+            self._pivots_since_refactor += 1
+            self.stats.dual_pivots += 1
+            if self._pivots_since_refactor >= self.refactor_every:
+                self._refactor()
+            else:
+                self.xB = self._compute_xB()
+        return "fallback"

@@ -104,8 +104,22 @@ def wcet_report(result: WCETResult,
     out("")
 
     out("-- Phase 6: path analysis (IPET)")
+    if result.path.graph_nodes:
+        out(f"   chain contraction: {result.path.graph_nodes} nodes -> "
+            f"{result.path.lp_supernodes} supernodes")
     out(f"   ILP: {result.path.num_variables} variables, "
         f"{result.path.num_constraints} constraints")
+    solver = result.path.solver_stats
+    if solver is not None:
+        out(f"   solver: {solver.pivots} pivots "
+            f"({solver.phase1_pivots} p1 / {solver.phase2_pivots} p2 / "
+            f"{solver.dual_pivots} dual), presolve removed "
+            f"{solver.presolve_rows_removed} rows / "
+            f"{solver.presolve_cols_removed} cols")
+        if solver.bb_nodes:
+            out(f"   branch & bound: {solver.bb_nodes} nodes, "
+                f"{solver.warm_start_hits} warm starts, "
+                f"{solver.cold_solves} cold solves")
     out(f"   LP relaxation: {result.path.lp_bound:.1f} cycles "
         f"({'integral' if result.path.integral else 'fractional'})")
     out("")
@@ -123,9 +137,12 @@ def wcet_report(result: WCETResult,
     for phase, seconds in result.phase_seconds.items():
         out(f"   {phase:<12} {seconds * 1000:8.2f} ms")
     out(f"   {'total':<12} {result.total_seconds * 1000:8.2f} ms")
-    if result.solver_stats:
+    fixpoint_phases = {phase: stats
+                       for phase, stats in result.solver_stats.items()
+                       if phase != "path"}
+    if fixpoint_phases:
         out("-- Fixpoint work (shared WTO kernel)")
-        for phase, stats in result.solver_stats.items():
+        for phase, stats in fixpoint_phases.items():
             out(f"   {phase:<12} {stats}")
     out("=" * 66)
     return "\n".join(lines) + "\n"

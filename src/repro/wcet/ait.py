@@ -45,10 +45,11 @@ class WCETResult:
     timing: TimingModel
     path: PathAnalysisResult
     phase_seconds: Dict[str, float] = field(default_factory=dict)
-    #: Fixpoint work counters per solver phase ("value", "icache",
-    #: "dcache") — the shared WTO kernel's instrumentation, alongside
-    #: the wall-clock numbers in :attr:`phase_seconds`.
-    solver_stats: Dict[str, FixpointStats] = field(default_factory=dict)
+    #: Work counters per solver phase: the shared WTO kernel's
+    #: :class:`FixpointStats` for "value"/"icache"/"dcache"/"pipeline",
+    #: and the LP/ILP engine's :class:`~repro.ilp.stats.ILPStats` for
+    #: "path" — alongside the wall clocks in :attr:`phase_seconds`.
+    solver_stats: Dict[str, object] = field(default_factory=dict)
     #: The context-sensitivity policy the task graph was expanded under.
     context_policy: Optional[ContextPolicy] = None
 
@@ -178,6 +179,8 @@ def analyze_wcet(program: Program,
         solver_stats["dcache"] = dcache.fixpoint_stats
     if timing.fixpoint_stats is not None:
         solver_stats["pipeline"] = timing.fixpoint_stats
+    if path.solver_stats is not None:
+        solver_stats["path"] = path.solver_stats
     return WCETResult(program, config, binary_cfg, graph, values,
                       loop_bounds, icache, dcache, timing, path, phases,
                       solver_stats=solver_stats,

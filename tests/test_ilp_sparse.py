@@ -1,0 +1,314 @@
+"""Tests for the sparse LP/ILP engine.
+
+Differential coverage against the retained dense tableau
+(:func:`repro.ilp.solve_lp_dense`) on every IPET program the workload
+suite generates, randomized LP property tests, a degenerate/cycling
+regression exercising the Bland fallback, presolve unit tests, and the
+chain-contraction / solver-stats plumbing of path analysis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import (ILPStats, LinearProgram, Sense, presolve,
+                       solve_ilp, solve_lp, solve_lp_dense)
+from repro.path.ipet import PathAnalysis
+from repro.report.text import wcet_report
+from repro.workloads.suite import (WORKLOADS, analyze_workload,
+                                   get_workload, workload_names)
+
+
+def build(num_vars, objective, constraints, upper=None, lower=None,
+          integer=True):
+    program = LinearProgram()
+    variables = [program.add_variable(
+        f"x{i}",
+        lower=0.0 if lower is None else lower[i],
+        upper=None if upper is None else upper[i],
+        is_integer=integer) for i in range(num_vars)]
+    for i, coeff in enumerate(objective):
+        program.set_objective_coefficient(variables[i], coeff)
+    for coeffs, sense, rhs in constraints:
+        program.add_constraint(
+            {i: c for i, c in enumerate(coeffs)}, sense, rhs)
+    return program
+
+
+def ipet_program(result, contract):
+    """Rebuild the IPET program of an analyzed task."""
+    analysis = PathAnalysis(result.graph, result.timing,
+                            result.loop_bounds, result.values,
+                            use_infeasible_paths=True,
+                            contract_chains=contract)
+    return analysis._build_program()[0]
+
+
+class TestWorkloadDifferential:
+    """Old-dense vs new-sparse on every IPET program the suite builds,
+    both with and without chain contraction."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_dense_and_sparse_agree(self, name):
+        result = analyze_workload(get_workload(name))
+        reference = result.path.lp_bound
+        for contract in (False, True):
+            program = ipet_program(result, contract)
+            dense = solve_lp_dense(program)
+            sparse = solve_lp(program)
+            assert dense.status == sparse.status == "optimal"
+            assert sparse.objective == pytest.approx(dense.objective,
+                                                     abs=1e-6)
+            # Contraction must not change the optimum either.
+            assert sparse.objective == pytest.approx(reference, abs=1e-6)
+
+    #: branchy is all branch diamonds — nothing contracts, which is
+    #: itself worth pinning down alongside the chain-heavy kernels.
+    CONTRACTION_CASES = {"fibcall": True, "calltree": True,
+                         "branchy": False}
+
+    def test_contraction_preserves_bound_and_witness(self):
+        for name, shrinks in self.CONTRACTION_CASES.items():
+            result = analyze_workload(get_workload(name))
+            plain = PathAnalysis(result.graph, result.timing,
+                                 result.loop_bounds, result.values,
+                                 contract_chains=False).solve()
+            packed = PathAnalysis(result.graph, result.timing,
+                                  result.loop_bounds, result.values,
+                                  contract_chains=True).solve()
+            assert packed.wcet_cycles == plain.wcet_cycles
+            assert packed.lp_bound == pytest.approx(plain.lp_bound,
+                                                    abs=1e-6)
+            assert packed.path.node_counts == plain.path.node_counts
+            assert packed.path.edge_counts == plain.path.edge_counts
+            if shrinks:
+                assert packed.lp_supernodes < plain.lp_supernodes
+                assert packed.num_variables < plain.num_variables
+            else:
+                assert packed.lp_supernodes == plain.lp_supernodes
+
+    def test_contraction_covers_all_executed_nodes(self):
+        result = analyze_workload(get_workload("matmult"))
+        counts = result.path.path.node_counts
+        assert counts[result.graph.entry] == 1
+        # Flow conservation survives witness expansion: per-node count
+        # equals the inflow along the witness edges.
+        for node, count in counts.items():
+            if node == result.graph.entry:
+                continue
+            inflow = sum(
+                result.path.path.edge_counts.get(
+                    (e.source, e.target, e.kind), 0)
+                for e in result.graph.predecessors(node))
+            assert inflow == count
+
+
+class TestRandomPrograms:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_random_lps_dense_vs_sparse(self, data):
+        num_vars = data.draw(st.integers(1, 5))
+        num_cons = data.draw(st.integers(0, 5))
+        coeff = st.integers(-5, 5)
+        objective = [data.draw(coeff) for _ in range(num_vars)]
+        lower = [data.draw(st.integers(0, 3)) for _ in range(num_vars)]
+        upper = [data.draw(st.one_of(
+            st.none(), st.integers(0, 12).map(lambda d: d)))
+            for _ in range(num_vars)]
+        upper = [None if u is None else lower[i] + u
+                 for i, u in enumerate(upper)]
+        constraints = []
+        for _ in range(num_cons):
+            row = [data.draw(coeff) for _ in range(num_vars)]
+            sense = data.draw(st.sampled_from(
+                [Sense.LE, Sense.GE, Sense.EQ]))
+            rhs = data.draw(st.integers(-10, 20))
+            constraints.append((row, sense, rhs))
+
+        program = build(num_vars, objective, constraints, upper=upper,
+                        lower=lower, integer=False)
+        dense = solve_lp_dense(program)
+        sparse = solve_lp(program)
+        assert dense.status == sparse.status
+        if dense.is_optimal:
+            assert sparse.objective == pytest.approx(dense.objective,
+                                                     abs=1e-6)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_always_bland_matches_default_pricing(self, data):
+        num_vars = data.draw(st.integers(1, 4))
+        objective = [data.draw(st.integers(-4, 4))
+                     for _ in range(num_vars)]
+        constraints = []
+        for _ in range(data.draw(st.integers(1, 4))):
+            row = [data.draw(st.integers(-3, 4)) for _ in range(num_vars)]
+            constraints.append((row, Sense.LE,
+                                data.draw(st.integers(0, 15))))
+        program = build(num_vars, objective, constraints,
+                        upper=[8] * num_vars, integer=False)
+        default = solve_lp(program)
+        bland = solve_lp(program, bland_threshold=0)
+        assert default.status == bland.status
+        if default.is_optimal:
+            assert bland.objective == pytest.approx(default.objective,
+                                                    abs=1e-6)
+
+
+class TestDegenerateRegression:
+    """Beale's classic cycling LP: Dantzig pricing alone can cycle on
+    it; the Bland fallback must terminate at the optimum."""
+
+    BEALE = ([0.75, -150, 0.02, -6],
+             [([0.25, -60, -0.04, 9], Sense.LE, 0),
+              ([0.5, -90, -0.02, 3], Sense.LE, 0),
+              ([0, 0, 1, 0], Sense.LE, 1)])
+
+    def test_degenerate_terminates_with_fallback(self):
+        objective, constraints = self.BEALE
+        program = build(4, objective, constraints, integer=False)
+        solution = solve_lp(program)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(0.05)
+
+    def test_forced_bland_mode_exercises_fallback(self):
+        objective, constraints = self.BEALE
+        program = build(4, objective, constraints, integer=False)
+        stats = ILPStats()
+        solution = solve_lp(program, stats=stats, bland_threshold=0)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(0.05)
+        assert stats.bland_pivots > 0
+
+
+class TestPresolve:
+    def test_singleton_equality_fixes_variable(self):
+        program = build(2, [1, 1], [
+            ([1, 0], Sense.EQ, 3),
+            ([1, 1], Sense.LE, 10),
+        ], integer=False)
+        stats = ILPStats()
+        solution = solve_lp(program, stats=stats)
+        assert solution.objective == pytest.approx(10)
+        assert solution.values[0] == pytest.approx(3)
+        assert stats.presolve_rows_removed >= 1
+        assert stats.presolve_cols_removed >= 1
+
+    def test_zero_fix_cascades_through_flow_rows(self):
+        # x0 == 0 pins x1 via x1 - x0 == 0, then x2 via x2 - x1 == 0 —
+        # the infeasible/unreachable cascade of IPET programs.
+        program = build(3, [1, 1, 1], [
+            ([1, 0, 0], Sense.EQ, 0),
+            ([-1, 1, 0], Sense.EQ, 0),
+            ([0, -1, 1], Sense.EQ, 0),
+        ], upper=[5, 5, 5], integer=False)
+        pre = presolve(program)
+        assert pre.num_rows == 0
+        solution = solve_lp(program)
+        assert solution.objective == pytest.approx(0)
+        assert all(solution.values[i] == pytest.approx(0)
+                   for i in range(3))
+
+    def test_doubleton_substitution_postsolves(self):
+        # max x st x - y == 0, y <= 4: presolve aliases x to y.
+        program = build(2, [1, 0], [
+            ([1, -1], Sense.EQ, 0),
+            ([0, 1], Sense.LE, 4),
+        ], integer=False)
+        pre = presolve(program)
+        assert pre.substitutions
+        solution = solve_lp(program)
+        assert solution.objective == pytest.approx(4)
+        assert solution.values[0] == pytest.approx(4)
+        assert solution.values[1] == pytest.approx(4)
+
+    def test_conflicting_singletons_infeasible(self):
+        program = build(1, [1], [
+            ([1], Sense.GE, 2),
+            ([1], Sense.LE, 1),
+        ], integer=False)
+        assert solve_lp(program).status == "infeasible"
+
+    def test_integral_mode_rounds_bounds(self):
+        # max x st 2x <= 5: LP optimum 2.5, ILP optimum 2; both reached
+        # purely in presolve.
+        program = build(1, [1], [([2], Sense.LE, 5)], upper=[9])
+        relaxed = solve_lp(program)
+        assert relaxed.objective == pytest.approx(2.5)
+        solution, _stats = solve_ilp(program)
+        assert solution.objective == pytest.approx(2)
+
+
+class TestWarmStartedBranchAndBound:
+    def test_branching_warm_starts_from_parent_basis(self):
+        # Fractional relaxation across two knapsack rows: needs real
+        # branching, and every non-root node should warm start.
+        program = build(3, [5, 4, 3], [
+            ([2, 3, 1], Sense.LE, 5),
+            ([4, 1, 2], Sense.LE, 11),
+        ], upper=[3, 3, 3])
+        stats = ILPStats()
+        solution, bstats = solve_ilp(program, stats=stats)
+        assert solution.is_optimal
+        assert solution.is_integral()
+        assert bstats.nodes_explored == stats.bb_nodes
+        if stats.bb_nodes > 1:
+            assert stats.warm_start_hits + stats.cold_solves \
+                >= stats.bb_nodes
+
+    def test_node_budget_still_enforced(self):
+        program = build(2, [1, 1], [([2, 2], Sense.LE, 5)])
+        with pytest.raises(RuntimeError):
+            solve_ilp(program, max_nodes=0)
+
+
+class TestSolverStatsPlumbing:
+    def test_path_stats_surface_through_wcet_result(self):
+        result = analyze_workload(get_workload("calltree"))
+        stats = result.solver_stats["path"]
+        assert isinstance(stats, ILPStats)
+        assert stats.pivots > 0
+        assert stats.presolve_rows_removed > 0
+        assert stats.bb_nodes == 0      # IPET relaxations are integral
+        as_dict = stats.as_dict()
+        assert as_dict["pivots"] == stats.pivots
+        assert result.path.graph_nodes == result.graph.node_count()
+        assert 0 < result.path.lp_supernodes <= result.path.graph_nodes
+
+    def test_presolve_alone_solves_tiny_programs(self):
+        # fibcall's whole IPET program reduces away: the bound is
+        # proved without a single simplex pivot.
+        result = analyze_workload(get_workload("fibcall"))
+        stats = result.solver_stats["path"]
+        assert stats.pivots == 0
+        assert stats.presolve_rows_removed > 0
+
+    def test_report_renders_solver_counters(self):
+        result = analyze_workload(get_workload("fibcall"))
+        report = wcet_report(result)
+        assert "chain contraction" in report
+        assert "solver:" in report
+        assert "presolve removed" in report
+
+
+class TestLargeProgramGenerator:
+    def test_generates_thousands_of_instructions(self):
+        from repro.cfg.builder import build_cfg
+        from repro.lang import compile_program
+        from repro.workloads.synthetic import generate_large_source
+
+        program = compile_program(generate_large_source())
+        cfg = build_cfg(program)
+        assert cfg.total_instructions() >= 2000
+
+    def test_small_instance_analyzes_exactly(self):
+        from repro.lang import compile_program
+        from repro.wcet import analyze_wcet
+        from repro.workloads.synthetic import generate_large_source
+
+        program = compile_program(
+            generate_large_source(depth=1, fanout=2, loop_iterations=4))
+        result = analyze_wcet(program)
+        assert result.wcet_cycles > 0
+        assert result.path.integral
