@@ -29,7 +29,9 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from typing import Dict, List
 
@@ -40,6 +42,9 @@ from test_e7_scaling import _generate_program      # noqa: E402
 from repro.analysis import analyze_values          # noqa: E402
 from repro.analysis.state import (AbstractMemory,  # noqa: E402
                                   AbstractState)
+from repro.batch import (clear_process_caches,         # noqa: E402
+                         compare_rows, load_golden)
+from repro.workloads.suite import sweep_suite          # noqa: E402
 from repro.cfg import (VIVU, FullCallString,       # noqa: E402
                        KLimitedCallString, build_cfg, expand_task)
 from repro.lang import compile_program             # noqa: E402
@@ -66,6 +71,23 @@ POLICIES = (FullCallString(), KLimitedCallString(2), VIVU(peel=1))
 #: most half the block transfers of the FIFO reference (the headline
 #: acceptance criterion of the kernel PR), and never regress past this.
 TRANSFER_BUDGET_RATIO = 0.5
+
+#: Batch-engine guards.  Full mode sweeps the whole 19 x 3 x 2 matrix;
+#: quick (CI smoke) mode a 6-workload slice.  A warm-cache rerun must
+#: beat the cold run by the stated factor, serve >= 90% of phase
+#: executions from the cache, and a 4-worker cold run must beat the
+#: sequential cold run on wall clock (full mode only: on the tiny
+#: quick matrix pool startup dominates, so it is recorded, not
+#: asserted).  All bounds are checked bit-identical to the golden set.
+BATCH_FULL_MATRIX = "all:all:all"
+BATCH_QUICK_MATRIX = "fibcall,bs,calltree,statemate,matmult,crc:all:all"
+BATCH_WARM_SPEEDUP = 5.0
+BATCH_QUICK_WARM_SPEEDUP = 3.0
+BATCH_WARM_HIT_RATIO = 0.9
+BATCH_PARALLEL_JOBS = 4
+GOLDEN_BOUNDS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "golden_bounds.json")
 
 
 def measure_point(stages: int, repeat: int) -> Dict:
@@ -186,6 +208,79 @@ def measure_large_point(repeat: int) -> Dict:
     }
 
 
+def measure_batch_sweep(quick: bool) -> Dict:
+    """Drive the workload matrix through the batch engine three ways —
+    cold sequential, warm sequential, cold parallel — and record wall
+    clocks, cache hit ratios, and golden-bounds mismatches."""
+    matrix = BATCH_QUICK_MATRIX if quick else BATCH_FULL_MATRIX
+    golden = load_golden(GOLDEN_BOUNDS_PATH)
+    temp = tempfile.mkdtemp(prefix="repro-batch-perf-")
+    try:
+        sequential_dir = os.path.join(temp, "seq")
+        parallel_dir = os.path.join(temp, "par")
+        # Parallel first, with cleared memos before each cold sweep:
+        # fork-spawned workers inherit the parent's compiled-program
+        # memo, so measuring parallel after sequential would hand the
+        # "cold" parallel run pre-compiled binaries.
+        clear_process_caches()
+        parallel = sweep_suite(matrix, parallel=BATCH_PARALLEL_JOBS,
+                               cache_dir=parallel_dir)
+        clear_process_caches()
+        cold = sweep_suite(matrix, parallel=1,
+                           cache_dir=sequential_dir)
+        # Cleared again so the warm sweep deserialises from disk — the
+        # cross-run path real warm reruns take — rather than being
+        # served by the cold run's in-memory memo.
+        clear_process_caches()
+        warm = sweep_suite(matrix, parallel=1,
+                           cache_dir=sequential_dir)
+    finally:
+        shutil.rmtree(temp, ignore_errors=True)
+        # Don't keep artifacts of the deleted temp dirs pinned in the
+        # process-level cache memo.
+        clear_process_caches()
+
+    mismatches = []
+    for label, sweep in (("cold", cold), ("warm", warm),
+                         ("parallel", parallel)):
+        mismatches.extend(f"{label}: {mismatch}"
+                          for mismatch in compare_rows(sweep.rows,
+                                                       golden))
+    return {
+        "matrix": matrix,
+        "jobs": len(cold.jobs),
+        "parallel_jobs": BATCH_PARALLEL_JOBS,
+        "cold_seconds": round(cold.wall_seconds, 4),
+        "warm_seconds": round(warm.wall_seconds, 4),
+        "parallel_seconds": round(parallel.wall_seconds, 4),
+        "warm_speedup": round(cold.wall_seconds
+                              / max(warm.wall_seconds, 1e-9), 2),
+        "parallel_speedup": round(cold.wall_seconds
+                                  / max(parallel.wall_seconds, 1e-9), 2),
+        "warm_hit_ratio": round(warm.hit_ratio(), 4),
+        "golden_mismatches": mismatches,
+    }
+
+
+def check_batch_sweep(batch: Dict, quick: bool) -> List[str]:
+    failures = list(batch["golden_mismatches"])
+    required = BATCH_QUICK_WARM_SPEEDUP if quick else BATCH_WARM_SPEEDUP
+    if batch["warm_speedup"] < required:
+        failures.append(
+            f"warm-cache sweep only {batch['warm_speedup']:.1f}x faster "
+            f"than cold (required {required}x)")
+    if batch["warm_hit_ratio"] < BATCH_WARM_HIT_RATIO:
+        failures.append(
+            f"warm-cache hit ratio {batch['warm_hit_ratio']:.0%} below "
+            f"{BATCH_WARM_HIT_RATIO:.0%}")
+    if not quick and batch["parallel_seconds"] >= batch["cold_seconds"]:
+        failures.append(
+            f"parallel cold sweep ({batch['parallel_seconds']:.2f}s, "
+            f"{batch['parallel_jobs']} workers) not faster than "
+            f"sequential cold sweep ({batch['cold_seconds']:.2f}s)")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeat", type=int, default=3,
@@ -229,7 +324,17 @@ def main(argv=None) -> int:
           f"{large['ilp_stats']['pivots']} pivots), "
           f"WCET {large['wcet_cycles']}")
 
-    failures = []
+    batch = measure_batch_sweep(args.quick)
+    print(f"\nbatch sweep ({batch['jobs']} jobs, {batch['matrix']}): "
+          f"cold {batch['cold_seconds']:.2f}s, "
+          f"warm {batch['warm_seconds']:.2f}s "
+          f"({batch['warm_speedup']:.1f}x, "
+          f"hit ratio {batch['warm_hit_ratio']:.0%}), "
+          f"parallel x{batch['parallel_jobs']} "
+          f"{batch['parallel_seconds']:.2f}s "
+          f"({batch['parallel_speedup']:.1f}x)")
+
+    failures = check_batch_sweep(batch, args.quick)
     if large["analyze_wcet_seconds"] > LARGE_TOTAL_BUDGET_SECONDS:
         failures.append(
             f"large point analyze_wcet took "
@@ -305,6 +410,7 @@ def main(argv=None) -> int:
         "transfer_budget_ratio": TRANSFER_BUDGET_RATIO,
         "quick": args.quick,
         "points": points,
+        "batch": batch,
         "ok": not failures,
     }
     trajectory.setdefault("runs", []).append(run)

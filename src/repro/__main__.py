@@ -7,6 +7,7 @@ the aiT / StackAnalyzer command-line tools are driven:
     python -m repro stack task.c
     python -m repro run task.c [--reg R0=5]
     python -m repro disasm task.s
+    python -m repro batch --matrix all:all:all --jobs 4 --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -109,6 +110,71 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .batch import (compare_rows, golden_from_rows, load_golden,
+                        merge_golden, save_golden)
+    from .workloads.suite import sweep_suite
+
+    result = sweep_suite(args.matrix, parallel=args.jobs,
+                         cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache,
+                         jsonl_path=args.jsonl)
+    jobs = result.jobs
+
+    header = (f"{'workload':<12} {'policy':<12} {'model':<9} "
+              f"{'wcet':>8} {'ms':>8} {'cache':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in result.rows:
+        if "error" in row:
+            print(f"{row['workload']:<12} {row['policy']:<12} "
+                  f"{row['model']:<9} ERROR: {row['error']}")
+            continue
+        cache = row["cache"]
+        provenance = f"{cache['hits']}h/{cache['misses']}m" \
+            if cache["hits"] or cache["misses"] else "off"
+        print(f"{row['workload']:<12} {row['policy']:<12} "
+              f"{row['model']:<9} {row['wcet_cycles']:>8} "
+              f"{row['wall_seconds'] * 1000:>8.1f} {provenance:>9}")
+    ratio = result.hit_ratio()
+    print(f"\n{len(jobs)} jobs in {result.wall_seconds:.2f}s "
+          f"({args.jobs} worker{'s' if args.jobs != 1 else ''}); "
+          f"phase cache: {result.cache_hits} hits / "
+          f"{result.cache_misses} misses ({ratio:.0%})")
+    if args.jsonl:
+        print(f"results written to {args.jsonl}")
+
+    failures = list(result.errors)
+    if args.golden:
+        # Failed jobs are already in result.errors; compare only the
+        # rows that produced a bound.
+        completed = [row for row in result.rows if "error" not in row]
+        failures.extend(compare_rows(completed,
+                                     load_golden(args.golden)))
+    if args.write_golden:
+        if result.errors:
+            failures.append("refusing to write golden bounds from a "
+                            "sweep with failed jobs")
+        else:
+            # Merge into an existing file so a partial-matrix sweep
+            # refreshes only its own points.
+            updated = golden_from_rows(result.rows)
+            try:
+                updated = merge_golden(load_golden(args.write_golden),
+                                       updated)
+            except FileNotFoundError:
+                pass
+            save_golden(args.write_golden, updated)
+            print(f"golden bounds written to {args.write_golden}")
+    if args.require_hit_ratio is not None \
+            and ratio < args.require_hit_ratio:
+        failures.append(f"cache hit ratio {ratio:.2%} below required "
+                        f"{args.require_hit_ratio:.2%}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +233,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_dis = sub.add_parser("disasm", help="disassemble a binary")
     p_dis.add_argument("file")
     p_dis.set_defaults(func=cmd_disasm)
+
+    p_batch = sub.add_parser(
+        "batch", help="run an analysis sweep over the workload matrix")
+    p_batch.add_argument("--matrix", default="all:all:all",
+                        metavar="W:P:M",
+                        help="sweep matrix WORKLOADS:POLICIES:MODELS; "
+                             "each component a comma list or 'all' "
+                             "(policies: full, klimited[@K], "
+                             "vivu[@PEEL[@K]])")
+    p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (1 = in-process)")
+    p_batch.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed artifact cache "
+                             "directory, shared across runs and "
+                             "workers (default: in-memory only)")
+    p_batch.add_argument("--no-cache", action="store_true",
+                        help="disable artifact caching entirely")
+    p_batch.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="write one JSON result line per job")
+    p_batch.add_argument("--golden", default=None, metavar="PATH",
+                        help="assert bounds are bit-identical to this "
+                             "golden-bounds JSON file")
+    p_batch.add_argument("--write-golden", default=None, metavar="PATH",
+                        help="regenerate a golden-bounds JSON file "
+                             "from this sweep's results")
+    p_batch.add_argument("--require-hit-ratio", type=float,
+                        default=None, metavar="R",
+                        help="fail unless the phase-cache hit ratio "
+                             "is at least R (CI warm-cache guard)")
+    p_batch.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,150 @@
+"""Content-addressed artifact cache for analysis phases.
+
+The sweep engine never recomputes an artifact whose inputs haven't
+changed: every phase of :func:`repro.wcet.ait.analyze_wcet` stores its
+result under a key that digests
+
+* a *code version salt* — by default a hash of every ``.py`` file in
+  the ``repro`` package, so any code change invalidates all cached
+  artifacts at once (stale objects are simply never addressed again),
+* the phase's own key material — the program's
+  :meth:`~repro.isa.program.Program.content_digest` plus the exact
+  phase parameters, and the keys of all upstream phases (transitive
+  invalidation; see :class:`repro.wcet.ait.PhaseRunner`).
+
+On-disk layout under the cache root::
+
+    objects/<key[:2]>/<key>.pkl     pickled artifact (atomic writes)
+
+Writes go through a temporary file followed by :func:`os.replace`, so
+concurrent worker processes can share one cache directory: the worst
+race is two processes computing the same artifact and one overwriting
+the other with identical bytes (last-writer-wins).  Unreadable or
+stale objects are treated as misses and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+_SALT_CACHE: Optional[str] = None
+
+
+def code_version_salt() -> str:
+    """Digest of the ``repro`` package's source files (memoised).
+
+    Keying every artifact on this salt means a cache directory never
+    serves results computed by a different version of the analyses.
+    """
+    global _SALT_CACHE
+    if _SALT_CACHE is None:
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for dirpath, _, filenames in sorted(os.walk(package_root)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(
+                    os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _SALT_CACHE = digest.hexdigest()
+    return _SALT_CACHE
+
+
+class ArtifactCache:
+    """Content-addressed store of pickled analysis artifacts.
+
+    ``root=None`` keeps artifacts purely in memory (useful to share
+    work inside one process without touching disk); with a directory,
+    artifacts persist across runs and processes.  Loaded objects are
+    additionally memoised in memory, so repeated lookups within one
+    process deserialise once.
+
+    This class implements the phase-cache protocol of
+    :class:`repro.wcet.ait.PhaseRunner`: :meth:`key`, :meth:`lookup`,
+    :meth:`store`.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 salt: Optional[str] = None):
+        self.root = root
+        self.salt = salt if salt is not None else code_version_salt()
+        self.hits = 0
+        self.misses = 0
+        self._memory: dict = {}
+
+    # -- Protocol -----------------------------------------------------------
+
+    def key(self, material: str) -> str:
+        """Content address for one artifact: H(salt | material)."""
+        return hashlib.sha256(
+            f"{self.salt}|{material}".encode()).hexdigest()
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(True, artifact)`` when present, else ``(False, None)``."""
+        if key in self._memory:
+            self.hits += 1
+            return True, self._memory[key]
+        if self.root is not None:
+            try:
+                with open(self._object_path(key), "rb") as handle:
+                    value = pickle.load(handle)
+            except Exception:
+                # Missing, truncated, or stale (e.g. written by an
+                # incompatible pickle) object: recompute.
+                pass
+            else:
+                self.hits += 1
+                self._memory[key] = value
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def store(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        if self.root is None:
+            return
+        try:
+            path = self._object_path(key)
+            directory = os.path.dirname(path)
+            os.makedirs(directory, exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(dir=directory,
+                                                 suffix=".tmp")
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    pickle.dump(value, stream,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # An artifact that cannot be persisted (unpicklable member,
+            # full disk) degrades to uncached-on-disk: the computed
+            # result is still returned and memoised in memory, and the
+            # next process simply recomputes, mirroring how lookup()
+            # treats unreadable objects as misses.
+            pass
+
+    # -- Introspection ------------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0

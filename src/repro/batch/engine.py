@@ -1,0 +1,260 @@
+"""Parallel sweep engine over the WCET analysis matrix.
+
+:func:`run_sweep` executes a list of :class:`~repro.batch.jobs.JobSpec`
+points — sequentially or on a process pool — and returns their results
+in *job order* regardless of completion order, so sweep output is
+deterministic under any ``--jobs`` setting.  Each job runs the full
+aiT pipeline through the phase-level artifact cache
+(:mod:`repro.batch.cachestore`), and its result row records the bound,
+per-phase wall clock, solver work counters, cache classification
+counts, and the cache hit/miss provenance of every phase.
+
+Rows are plain JSON-able dicts; :meth:`SweepResult.write_jsonl` emits
+them as JSON lines, one job per line, in job order.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+from ..wcet.ait import WCETResult
+from ..workloads.suite import analyze_workload, get_workload
+from .cachestore import ArtifactCache
+from .jobs import JobSpec
+
+#: Per-process memo of compiled workload binaries: a sweep analyses the
+#: same workload under several (policy, model) points, and compilation
+#: is identical for all of them.
+_PROGRAM_MEMO: Dict[str, Program] = {}
+
+#: Per-process artifact cache, keyed by (root, salt) so pool workers
+#: reuse one cache (and its in-memory object memo) across their jobs.
+_CACHE_MEMO: Dict[Tuple[Optional[str], Optional[str]], ArtifactCache] = {}
+
+
+def clear_process_caches() -> None:
+    """Drop this process's compiled-program and artifact-cache memos.
+
+    Benchmark harnesses call this between measured sweeps so a "cold"
+    run really is cold, and so artifacts of deleted temporary cache
+    directories don't stay pinned in memory for the process lifetime.
+    """
+    _PROGRAM_MEMO.clear()
+    _CACHE_MEMO.clear()
+
+
+def _process_cache(cache_dir: Optional[str], salt: Optional[str],
+                   use_cache: bool) -> Optional[ArtifactCache]:
+    if not use_cache:
+        return None
+    memo_key = (cache_dir, salt)
+    cache = _CACHE_MEMO.get(memo_key)
+    if cache is None:
+        cache = ArtifactCache(cache_dir, salt=salt)
+        _CACHE_MEMO[memo_key] = cache
+    return cache
+
+
+def _classification_counts(result) -> Dict[str, int]:
+    stats = result.stats
+    return {"always_hit": stats.always_hit,
+            "always_miss": stats.always_miss,
+            "persistent": stats.persistent,
+            "not_classified": stats.not_classified}
+
+
+def _result_row(spec: JobSpec, result: WCETResult,
+                wall_seconds: float) -> dict:
+    hits = sum(1 for event in result.cache_events.values()
+               if event == "hit")
+    misses = sum(1 for event in result.cache_events.values()
+                 if event == "miss")
+    return {
+        "workload": spec.workload,
+        "policy": spec.policy,
+        "model": spec.model,
+        "wcet_cycles": result.wcet_cycles,
+        "lp_bound": result.path.lp_bound,
+        "integral": result.path.integral,
+        "graph": {"nodes": result.graph.node_count(),
+                  "edges": result.graph.edge_count(),
+                  "contexts": len(result.graph.contexts())},
+        "icache": _classification_counts(result.icache),
+        "dcache": _classification_counts(result.dcache),
+        "solver_stats": {name: stats.as_dict()
+                         for name, stats in result.solver_stats.items()},
+        "phase_seconds": {phase: round(seconds, 6)
+                          for phase, seconds
+                          in result.phase_seconds.items()},
+        "wall_seconds": round(wall_seconds, 6),
+        "cache": {"events": dict(result.cache_events),
+                  "hits": hits, "misses": misses},
+    }
+
+
+def run_job(spec: JobSpec, cache: Optional[ArtifactCache]) -> dict:
+    """Run one matrix point and return its JSON-able result row."""
+    start = time.perf_counter()
+    workload = get_workload(spec.workload)
+    program = _PROGRAM_MEMO.get(spec.workload)
+    if program is None:
+        program = workload.compile()
+        _PROGRAM_MEMO[spec.workload] = program
+    result = analyze_workload(workload, program=program,
+                              context_policy=spec.policy_object(),
+                              pipeline_model=spec.model,
+                              phase_cache=cache)
+    return _result_row(spec, result, time.perf_counter() - start)
+
+
+def _error_row(spec: JobSpec, exc: Exception) -> dict:
+    return {"workload": spec.workload, "policy": spec.policy,
+            "model": spec.model,
+            "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _pool_group(payload: Tuple[List[int], List[JobSpec], Optional[str],
+                               Optional[str], bool]
+                ) -> List[Tuple[int, dict]]:
+    """Pool task: run one workload's jobs back to back.
+
+    Sharding whole workload groups (rather than single jobs) keeps a
+    workload's compiled binary, annotation-discovery prefix, and
+    per-policy artifacts inside one worker's memo, so parallel cold
+    runs do roughly the sequential run's total work divided by the
+    worker count instead of recomputing shared artifacts on every
+    worker.
+    """
+    indices, specs, cache_dir, salt, use_cache = payload
+    cache = _process_cache(cache_dir, salt, use_cache)
+    results = []
+    for index, spec in zip(indices, specs):
+        try:
+            results.append((index, run_job(spec, cache)))
+        except Exception as exc:
+            results.append((index, _error_row(spec, exc)))
+    return results
+
+
+def _group_jobs(jobs: List[JobSpec], parallel: int
+                ) -> List[Tuple[List[int], List[JobSpec]]]:
+    """Shard jobs into pool tasks, preferring whole workload groups.
+
+    Falls back to (workload, policy) groups when there are fewer
+    workloads than workers — keeping the cross-model artifact sharing,
+    which is the bulk of the win — so a single-workload matrix still
+    parallelises instead of serialising in one worker.
+    """
+    def build(key):
+        groups: Dict[object, Tuple[List[int], List[JobSpec]]] = {}
+        for index, spec in enumerate(jobs):
+            indices, specs = groups.setdefault(key(spec), ([], []))
+            indices.append(index)
+            specs.append(spec)
+        return list(groups.values())
+
+    groups = build(lambda spec: spec.workload)
+    if len(groups) < parallel:
+        groups = build(lambda spec: (spec.workload, spec.policy))
+    return groups
+
+
+def _pool_context():
+    # Fork workers inherit the imported analysis modules, avoiding a
+    # per-worker re-import; unavailable on some platforms.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: rows in job order plus aggregate stats."""
+
+    jobs: List[JobSpec]
+    rows: List[dict]
+    wall_seconds: float
+    parallel: int
+    cache_dir: Optional[str] = None
+    used_cache: bool = True
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(row.get("cache", {}).get("hits", 0)
+                   for row in self.rows)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(row.get("cache", {}).get("misses", 0)
+                   for row in self.rows)
+
+    def hit_ratio(self) -> float:
+        """Fraction of phase executions served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def bounds(self) -> Dict[str, int]:
+        return {f"{row['workload']}/{row['policy']}/{row['model']}":
+                row["wcet_cycles"]
+                for row in self.rows if "error" not in row}
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for row in self.rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def run_sweep(jobs: List[JobSpec],
+              parallel: int = 1,
+              cache_dir: Optional[str] = None,
+              use_cache: bool = True,
+              salt: Optional[str] = None,
+              jsonl_path: Optional[str] = None) -> SweepResult:
+    """Run every job of the sweep and collect rows in job order.
+
+    ``parallel`` > 1 shards jobs over a process pool; with a shared
+    ``cache_dir`` the workers then also share artifacts through the
+    content-addressed store (atomic writes make that race-free).
+    ``use_cache=False`` disables caching entirely; ``cache_dir=None``
+    with caching enabled still shares artifacts in memory within each
+    process.  ``salt`` overrides the code-version salt (tests only).
+    """
+    start = time.perf_counter()
+    rows: List[Optional[dict]] = [None] * len(jobs)
+    if parallel <= 1:
+        cache = _process_cache(cache_dir, salt, use_cache) \
+            if cache_dir is not None else \
+            (ArtifactCache(None, salt=salt) if use_cache else None)
+        for index, spec in enumerate(jobs):
+            try:
+                rows[index] = run_job(spec, cache)
+            except Exception as exc:
+                rows[index] = _error_row(spec, exc)
+    else:
+        payloads = [(indices, specs, cache_dir, salt, use_cache)
+                    for indices, specs in _group_jobs(jobs, parallel)]
+        with ProcessPoolExecutor(max_workers=parallel,
+                                 mp_context=_pool_context()) as pool:
+            futures = [pool.submit(_pool_group, payload)
+                       for payload in payloads]
+            for future in as_completed(futures):
+                for index, row in future.result():
+                    rows[index] = row
+
+    errors = [f"{row['workload']}/{row['policy']}/{row['model']}: "
+              f"{row['error']}" for row in rows if "error" in row]
+    result = SweepResult(jobs=list(jobs), rows=rows,
+                         wall_seconds=time.perf_counter() - start,
+                         parallel=parallel, cache_dir=cache_dir,
+                         used_cache=use_cache, errors=errors)
+    if jsonl_path:
+        result.write_jsonl(jsonl_path)
+    return result

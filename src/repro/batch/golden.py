@@ -1,0 +1,100 @@
+"""Golden-bounds bookkeeping for sweeps.
+
+The repository checks in ``tests/golden_bounds.json`` — the WCET bound
+of every (workload x policy x model) point — and both the regression
+suite and the sweep CLI compare fresh results against it bit for bit.
+The file is nested ``{workload: {policy: {model: bound}}}`` with sorted
+keys, so diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+#: Nested golden mapping: workload -> policy -> model -> bound.
+GoldenBounds = Dict[str, Dict[str, Dict[str, int]]]
+
+
+def load_golden(path: str) -> GoldenBounds:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def save_golden(path: str, golden: GoldenBounds) -> None:
+    with open(path, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def golden_from_rows(rows: Iterable[dict]) -> GoldenBounds:
+    """Build the nested golden mapping from sweep result rows.
+
+    Refuses error rows: a golden set regenerated from a sweep with
+    failed jobs would silently drop points.
+    """
+    golden: GoldenBounds = {}
+    for row in rows:
+        if "error" in row:
+            raise ValueError(
+                f"cannot record golden bounds from a failed job "
+                f"{row['workload']}/{row['policy']}/{row['model']}: "
+                f"{row['error']}")
+        golden.setdefault(row["workload"], {}) \
+              .setdefault(row["policy"], {})[row["model"]] = \
+            row["wcet_cycles"]
+    return golden
+
+
+def merge_golden(base: GoldenBounds, update: GoldenBounds
+                 ) -> GoldenBounds:
+    """``base`` with ``update``'s points replacing/extending it.
+
+    Lets a partial-matrix sweep refresh only its own points instead of
+    truncating the checked-in golden set to whatever was swept.
+    """
+    merged: GoldenBounds = {
+        workload: {policy: dict(models)
+                   for policy, models in policies.items()}
+        for workload, policies in base.items()}
+    for workload, policies in update.items():
+        for policy, models in policies.items():
+            merged.setdefault(workload, {}) \
+                  .setdefault(policy, {}).update(models)
+    return merged
+
+
+def flatten_golden(golden: GoldenBounds) -> Dict[Tuple[str, str, str], int]:
+    return {(workload, policy, model): bound
+            for workload, policies in golden.items()
+            for policy, models in policies.items()
+            for model, bound in models.items()}
+
+
+def compare_rows(rows: Iterable[dict], golden: GoldenBounds) -> List[str]:
+    """Bit-identity check of sweep rows against the golden bounds.
+
+    Returns human-readable mismatch descriptions (empty = identical).
+    Rows whose point is absent from the golden file are mismatches too
+    — a grown matrix must regenerate the golden set deliberately.
+    """
+    expected = flatten_golden(golden)
+    mismatches = []
+    for row in rows:
+        if "error" in row:
+            mismatches.append(f"{row['workload']}/{row['policy']}/"
+                              f"{row['model']}: job failed: "
+                              f"{row['error']}")
+            continue
+        point = (row["workload"], row["policy"], row["model"])
+        bound = expected.get(point)
+        if bound is None:
+            mismatches.append(
+                "/".join(point) + ": no golden bound recorded "
+                "(regenerate: pytest tests/test_golden_bounds.py "
+                "--update-golden, or repro batch --write-golden)")
+        elif bound != row["wcet_cycles"]:
+            mismatches.append(
+                "/".join(point) + f": bound {row['wcet_cycles']} != "
+                f"golden {bound}")
+    return mismatches

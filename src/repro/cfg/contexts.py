@@ -58,6 +58,11 @@ class Context:
     def __setattr__(self, name, value):
         raise AttributeError("Context is immutable")
 
+    def __reduce__(self):
+        # The immutability guard above breaks the default slot-state
+        # pickling protocol; reconstruct through the constructor.
+        return (Context, (self.calls, self.iters))
+
     # -- Tuple compatibility (calls component) ------------------------------
 
     def __iter__(self) -> Iterator[int]:

@@ -9,6 +9,7 @@ ground-truth execution are guaranteed to see the same bytes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -66,6 +67,37 @@ class Program:
         self.entry = entry
         self.memory_map = memory_map or MemoryMap()
         self._by_name = {section.name: section for section in self.sections}
+        self._content_digest: Optional[str] = None
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the whole binary image — sections,
+        symbol table, entry point, and memory map.  Two programs with
+        equal digests are indistinguishable to every analysis, which is
+        what makes the digest usable as the program component of
+        content-addressed artifact-cache keys (:mod:`repro.batch`)."""
+        if self._content_digest is None:
+            digest = hashlib.sha256()
+            # Variable-length fields are length-prefixed so the hash
+            # input stream parses unambiguously.
+            for section in self.sections:
+                name = section.name.encode()
+                digest.update(len(name).to_bytes(8, "little"))
+                digest.update(name)
+                digest.update(section.base.to_bytes(8, "little"))
+                digest.update(len(section.data).to_bytes(8, "little"))
+                digest.update(section.data)
+            for symbol, address in sorted(self.symbols.items()):
+                name = symbol.encode()
+                digest.update(len(name).to_bytes(8, "little"))
+                digest.update(name)
+                digest.update(address.to_bytes(8, "little", signed=True))
+            layout = self.memory_map
+            digest.update(
+                f"entry={self.entry};text={layout.text_base};"
+                f"data={layout.data_base};stack={layout.stack_base};"
+                f"limit={layout.stack_limit}".encode())
+            self._content_digest = digest.hexdigest()
+        return self._content_digest
 
     # -- Section access -------------------------------------------------
 

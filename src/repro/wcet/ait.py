@@ -6,13 +6,24 @@ analysis ...; cache analysis ...; pipeline analysis ...; path analysis"
 (Section 3).  :func:`analyze_wcet` runs exactly this pipeline over a
 KRISC binary and returns a :class:`WCETResult` carrying every
 intermediate artifact plus per-phase runtimes (experiment E7).
+
+Each phase is a named, individually-cacheable step (:data:`PHASES`):
+:func:`analyze_wcet` drives them through a :class:`PhaseRunner`, which
+can consult an optional content-addressed artifact cache (the batch
+sweep engine's :class:`~repro.batch.cachestore.ArtifactCache`).  Phase
+cache keys chain — each phase's key material embeds the keys of the
+phases it consumes — so any upstream input change transparently
+invalidates every downstream artifact, while unrelated inputs share:
+e.g. the expanded task graph and the value analysis are keyed only by
+(program, entry, indirect targets, context policy[, value parameters]),
+so both pipeline timing models reuse them.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Type
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Type
 
 from ..analysis.domain import AbstractValue
 from ..analysis.fixpoint import FixpointStats
@@ -21,9 +32,9 @@ from ..analysis.loopbounds import LoopBound, analyze_loop_bounds
 from ..analysis.valueanalysis import ValueAnalysisResult, analyze_values
 from ..cache.analysis import (DCacheResult, ICacheResult, analyze_dcache,
                               analyze_icache)
-from ..cache.config import MachineConfig
+from ..cache.config import CacheConfig, MachineConfig
 from ..cfg.builder import BinaryCFG, build_cfg
-from ..cfg.contexts import ContextPolicy
+from ..cfg.contexts import DEFAULT_POLICY, ContextPolicy
 from ..cfg.expand import NodeId, TaskGraph, expand_task
 from ..isa.program import Program
 from ..path.ipet import PathAnalysisResult, analyze_paths
@@ -52,6 +63,9 @@ class WCETResult:
     solver_stats: Dict[str, object] = field(default_factory=dict)
     #: The context-sensitivity policy the task graph was expanded under.
     context_policy: Optional[ContextPolicy] = None
+    #: Artifact-cache provenance: phase name -> "hit" | "miss".  Empty
+    #: when the analysis ran without a phase cache.
+    cache_events: Dict[str, str] = field(default_factory=dict)
 
     @property
     def wcet_cycles(self) -> int:
@@ -95,6 +109,206 @@ class WCETResult:
         return "\n".join(lines)
 
 
+# -- Named analysis phases ------------------------------------------------------
+
+#: The aiT pipeline's phases in execution order.  Every phase is one
+#: ``phase_*`` function below, run under a shared :class:`PhaseRunner`.
+PHASES = ("cfg", "value", "loopbounds", "icache", "dcache", "pipeline",
+          "path")
+
+
+class PhaseRunner:
+    """Runs named phases, consulting an optional artifact cache.
+
+    The cache protocol (implemented by
+    :class:`repro.batch.cachestore.ArtifactCache`) is three methods:
+    ``key(material) -> str`` (digest the key material, mixing in the
+    cache's code-version salt), ``lookup(key) -> (hit, value)``, and
+    ``store(key, value)``.  Without a cache the runner just computes.
+
+    Phases must execute in :data:`PHASES` order under one runner: a
+    phase's key material references the keys of its upstream phases
+    (:meth:`key_of`), which is what makes invalidation transitive.
+    """
+
+    def __init__(self, cache=None):
+        self.cache = cache
+        self.keys: Dict[str, str] = {}
+        self.events: Dict[str, str] = {}
+
+    def key_of(self, phase: str) -> str:
+        """The cache key an already-run upstream phase was stored under."""
+        return self.keys[phase]
+
+    def run(self, name, material, compute):
+        """Run phase ``name``: serve ``compute()``'s value from the
+        cache when the digest of ``material()`` is present, computing
+        and storing it otherwise."""
+        if self.cache is None:
+            return compute()
+        key = self.cache.key(material())
+        self.keys[name] = key
+        hit, value = self.cache.lookup(key)
+        if hit:
+            self.events[name] = "hit"
+            return value
+        value = compute()
+        self.cache.store(key, value)
+        self.events[name] = "miss"
+        return value
+
+
+def _mapping_material(mapping: Optional[Mapping]) -> str:
+    """Stable key-material encoding of an annotation mapping."""
+    if not mapping:
+        return "-"
+    parts = []
+    for key in sorted(mapping):
+        value = mapping[key]
+        if isinstance(value, (list, tuple)):
+            value = ",".join(str(item) for item in value)
+        parts.append(f"{key}={value}")
+    return ";".join(parts)
+
+
+def _cache_config_material(config: CacheConfig) -> str:
+    return (f"{config.num_sets}x{config.associativity}x"
+            f"{config.line_size}p{config.miss_penalty}")
+
+
+def phase_cfg(runner: PhaseRunner, program: Program,
+              entry: Optional[int],
+              indirect_targets: Optional[Dict[int, Sequence[int]]],
+              policy: ContextPolicy) -> Tuple[BinaryCFG, TaskGraph]:
+    """Phase 1: CFG reconstruction + context-sensitive expansion."""
+    def material():
+        return (f"cfg|{program.content_digest()}|entry={entry}"
+                f"|indirect={_mapping_material(indirect_targets)}"
+                f"|policy={policy.describe()}")
+
+    def compute():
+        binary_cfg = build_cfg(program, entry, indirect_targets)
+        graph = expand_task(binary_cfg, policy=policy)
+        return binary_cfg, graph
+
+    return runner.run("cfg", material, compute)
+
+
+def phase_value(runner: PhaseRunner, graph: TaskGraph,
+                domain: Type[AbstractValue],
+                register_ranges: Optional[Dict[int, Tuple[int, int]]],
+                narrowing_passes: int, use_widening_thresholds: bool,
+                memory_ranges: Optional[Dict[int, Tuple[int, int]]]
+                ) -> ValueAnalysisResult:
+    """Phase 2: interval/strided value analysis over the task graph."""
+    def material():
+        return (f"value|{runner.key_of('cfg')}"
+                f"|domain={domain.__module__}.{domain.__qualname__}"
+                f"|regs={_mapping_material(register_ranges)}"
+                f"|narrow={narrowing_passes}"
+                f"|wthresh={use_widening_thresholds}"
+                f"|mem={_mapping_material(memory_ranges)}")
+
+    def compute():
+        return analyze_values(
+            graph, domain=domain, register_ranges=register_ranges,
+            narrowing_passes=narrowing_passes,
+            use_widening_thresholds=use_widening_thresholds,
+            memory_ranges=memory_ranges)
+
+    return runner.run("value", material, compute)
+
+
+def phase_loopbounds(runner: PhaseRunner, values: ValueAnalysisResult,
+                     manual_loop_bounds: Optional[Dict[int, int]]
+                     ) -> Dict[NodeId, LoopBound]:
+    """Phase 3: loop-bound derivation (plus manual annotations)."""
+    def material():
+        return (f"loopbounds|{runner.key_of('value')}"
+                f"|manual={_mapping_material(manual_loop_bounds)}")
+
+    return runner.run(
+        "loopbounds", material,
+        lambda: analyze_loop_bounds(values, manual_loop_bounds))
+
+
+def phase_icache(runner: PhaseRunner, graph: TaskGraph,
+                 config: CacheConfig) -> ICacheResult:
+    """Phase 4a: instruction-cache must/may/persistence analysis."""
+    def material():
+        return (f"icache|{runner.key_of('cfg')}"
+                f"|{_cache_config_material(config)}")
+
+    return runner.run("icache", material,
+                      lambda: analyze_icache(graph, config))
+
+
+def phase_dcache(runner: PhaseRunner, graph: TaskGraph,
+                 config: CacheConfig, values: ValueAnalysisResult,
+                 use_value_analysis: bool) -> DCacheResult:
+    """Phase 4b: data-cache analysis fed by the value analysis."""
+    def material():
+        return (f"dcache|{runner.key_of('cfg')}|{runner.key_of('value')}"
+                f"|{_cache_config_material(config)}"
+                f"|usevalue={use_value_analysis}")
+
+    return runner.run(
+        "dcache", material,
+        lambda: analyze_dcache(graph, config, values, use_value_analysis))
+
+
+def phase_pipeline(runner: PhaseRunner, graph: TaskGraph,
+                   config: MachineConfig, icache: ICacheResult,
+                   dcache: DCacheResult) -> TimingModel:
+    """Phase 5: pipeline timing (additive or abstract krisc5 states)."""
+    def material():
+        return (f"pipeline|{runner.key_of('cfg')}"
+                f"|{runner.key_of('icache')}|{runner.key_of('dcache')}"
+                f"|model={config.pipeline_model}"
+                f"|cap={config.pipeline_state_cap}"
+                f"|bp={config.branch_penalty}|mul={config.mul_extra}"
+                f"|lus={config.load_use_stall}")
+
+    return runner.run(
+        "pipeline", material,
+        lambda: analyze_pipeline(graph, config, icache, dcache))
+
+
+def phase_path(runner: PhaseRunner, graph: TaskGraph,
+               timing: TimingModel,
+               loop_bounds: Dict[NodeId, LoopBound],
+               values: ValueAnalysisResult, use_infeasible_paths: bool,
+               integer: bool) -> PathAnalysisResult:
+    """Phase 6: IPET path analysis over the timing model (ILP)."""
+    def material():
+        return (f"path|{runner.key_of('cfg')}|{runner.key_of('pipeline')}"
+                f"|{runner.key_of('loopbounds')}|{runner.key_of('value')}"
+                f"|infeasible={use_infeasible_paths}|integer={integer}")
+
+    return runner.run(
+        "path", material,
+        lambda: analyze_paths(graph, timing, loop_bounds, values,
+                              use_infeasible_paths, integer))
+
+
+def analyze_loop_annotations(program: Program,
+                             memory_ranges: Optional[
+                                 Dict[int, Tuple[int, int]]] = None,
+                             phase_cache=None
+                             ) -> Dict[NodeId, LoopBound]:
+    """The *discover* half of aiT's annotate workflow: run the
+    default-parameter cfg/value/loopbounds prefix of the pipeline and
+    return the loop-bound table, from which callers pick the unbounded
+    headers to annotate manually.  Uses the same phase steps (and hence
+    shares cached artifacts) as :func:`analyze_wcet`.
+    """
+    runner = PhaseRunner(phase_cache)
+    _, graph = phase_cfg(runner, program, None, None, DEFAULT_POLICY)
+    values = phase_value(runner, graph, Interval, None, 2, True,
+                         memory_ranges)
+    return phase_loopbounds(runner, values, None)
+
+
 def analyze_wcet(program: Program,
                  config: Optional[MachineConfig] = None,
                  entry: Optional[int] = None,
@@ -110,7 +324,8 @@ def analyze_wcet(program: Program,
                  integer: bool = True,
                  context_policy: Optional[ContextPolicy] = None,
                  pipeline_model: Optional[str] = None,
-                 memory_ranges: Optional[Dict[int, Tuple[int, int]]] = None
+                 memory_ranges: Optional[Dict[int, Tuple[int, int]]] = None,
+                 phase_cache=None
                  ) -> WCETResult:
     """Run the complete aiT pipeline on ``program``.
 
@@ -133,10 +348,18 @@ def analyze_wcet(program: Program,
     overrides the config's timing model (``"additive"`` or
     ``"krisc5"``).  Ablation switches (DESIGN.md D1-D5) default to the
     full analysis.
+
+    ``phase_cache`` plugs in a content-addressed artifact cache (see
+    :mod:`repro.batch`): each phase is then served from the cache when
+    its exact inputs were analyzed before, and
+    :attr:`WCETResult.cache_events` records the per-phase hit/miss
+    provenance.  Cached and uncached analyses produce bit-identical
+    results.
     """
     config = config or MachineConfig.default()
     if pipeline_model is not None:
         config = config.with_model(pipeline_model)
+    policy = context_policy or DEFAULT_POLICY
     phases: Dict[str, float] = {}
 
     def timed(name):
@@ -148,27 +371,26 @@ def analyze_wcet(program: Program,
                 phases[name] = time.perf_counter() - self.start
         return _Timer()
 
+    runner = PhaseRunner(phase_cache)
     with timed("cfg"):
-        binary_cfg = build_cfg(program, entry, indirect_targets)
-        graph = expand_task(binary_cfg, policy=context_policy)
+        binary_cfg, graph = phase_cfg(runner, program, entry,
+                                      indirect_targets, policy)
     with timed("value"):
-        values = analyze_values(
-            graph, domain=domain, register_ranges=register_ranges,
-            narrowing_passes=narrowing_passes,
-            use_widening_thresholds=use_widening_thresholds,
-            memory_ranges=memory_ranges)
+        values = phase_value(runner, graph, domain, register_ranges,
+                             narrowing_passes, use_widening_thresholds,
+                             memory_ranges)
     with timed("loopbounds"):
-        loop_bounds = analyze_loop_bounds(values, manual_loop_bounds)
+        loop_bounds = phase_loopbounds(runner, values, manual_loop_bounds)
     with timed("icache"):
-        icache = analyze_icache(graph, config.icache)
+        icache = phase_icache(runner, graph, config.icache)
     with timed("dcache"):
-        dcache = analyze_dcache(graph, config.dcache, values,
-                                use_value_analysis_for_dcache)
+        dcache = phase_dcache(runner, graph, config.dcache, values,
+                              use_value_analysis_for_dcache)
     with timed("pipeline"):
-        timing = analyze_pipeline(graph, config, icache, dcache)
+        timing = phase_pipeline(runner, graph, config, icache, dcache)
     with timed("path"):
-        path = analyze_paths(graph, timing, loop_bounds, values,
-                             use_infeasible_paths, integer)
+        path = phase_path(runner, graph, timing, loop_bounds, values,
+                          use_infeasible_paths, integer)
 
     solver_stats = {}
     if values.fixpoint.stats is not None:
@@ -184,4 +406,5 @@ def analyze_wcet(program: Program,
     return WCETResult(program, config, binary_cfg, graph, values,
                       loop_bounds, icache, dcache, timing, path, phases,
                       solver_stats=solver_stats,
-                      context_policy=graph.policy)
+                      context_policy=graph.policy,
+                      cache_events=dict(runner.events))

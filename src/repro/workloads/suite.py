@@ -206,22 +206,27 @@ def get_workload(name: str) -> Workload:
 
 def analyze_workload(workload: Workload,
                      config: Optional[MachineConfig] = None,
+                     program: Optional[Program] = None,
+                     phase_cache=None,
                      **kwargs) -> WCETResult:
     """Run the full WCET pipeline, applying the workload's documented
     loop annotations (found by the same discover-then-annotate loop an
-    aiT user follows)."""
-    from ..analysis.loopbounds import analyze_loop_bounds
-    from ..analysis.valueanalysis import analyze_values
-    from ..cfg.builder import build_cfg
-    from ..cfg.expand import expand_task
+    aiT user follows).
 
-    program = workload.compile()
+    ``program`` reuses an already-compiled binary (sweep workers
+    compile each workload once); ``phase_cache`` threads a
+    content-addressed artifact cache (:mod:`repro.batch`) through both
+    the annotation-discovery prefix and the main analysis.
+    """
+    from ..wcet.ait import analyze_loop_annotations
+
+    program = program or workload.compile()
     memory_ranges = workload.memory_ranges(program)
     manual: Dict[int, int] = {}
     if workload.manual_bounds_in_order:
-        graph = expand_task(build_cfg(program))
-        values = analyze_values(graph, memory_ranges=memory_ranges)
-        bounds = analyze_loop_bounds(values)
+        bounds = analyze_loop_annotations(program,
+                                          memory_ranges=memory_ranges,
+                                          phase_cache=phase_cache)
         unbounded = sorted(
             {header.block for header, bound in bounds.items()
              if not bound.is_bounded})
@@ -229,7 +234,27 @@ def analyze_workload(workload: Workload,
                                   workload.manual_bounds_in_order):
             manual[address] = bound
     return analyze_wcet(program, config=config, manual_loop_bounds=manual,
-                        memory_ranges=memory_ranges, **kwargs)
+                        memory_ranges=memory_ranges,
+                        phase_cache=phase_cache, **kwargs)
+
+
+def sweep_suite(matrix: str = "all:all:all",
+                parallel: int = 1,
+                cache_dir: Optional[str] = None,
+                use_cache: bool = True,
+                jsonl_path: Optional[str] = None):
+    """Run a workload-suite sweep through the batch engine.
+
+    The sweep entry point the ``repro batch`` CLI (and through it the
+    CI batch-smoke job) and ``benchmarks/run_perf.py`` share; see
+    :mod:`repro.batch.jobs` for the matrix syntax.  Returns a
+    :class:`~repro.batch.engine.SweepResult`.
+    """
+    from ..batch import expand_matrix, run_sweep
+
+    return run_sweep(expand_matrix(matrix), parallel=parallel,
+                     cache_dir=cache_dir, use_cache=use_cache,
+                     jsonl_path=jsonl_path)
 
 
 # -- Simulation with input randomisation ----------------------------------------

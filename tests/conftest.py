@@ -1,0 +1,8 @@
+"""Shared pytest configuration for the repository's test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden_bounds.json from the current "
+             "analyses instead of asserting against it")

@@ -1,0 +1,275 @@
+"""The sweep engine: matrix expansion, artifact cache, and execution.
+
+Covers the tentpole guarantees of the batch layer:
+
+* matrix strings expand to a deterministic, validated job list,
+* the content-addressed cache round-trips artifacts, treats corrupt
+  objects as misses, and invalidates on salt (code-version) change,
+* cached, uncached, warm, and parallel analyses all produce
+  bit-identical results, with phase-level sharing across pipeline
+  models exactly as designed.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.batch import (ArtifactCache, JobSpec, code_version_salt,
+                         expand_matrix, golden_from_rows, merge_golden,
+                         parse_policy, run_sweep)
+from repro.cache.config import MachineConfig
+from repro.cfg.contexts import (FullCallString, KLimitedCallString, VIVU)
+from repro.report import wcet_report
+from repro.wcet.ait import PHASES, analyze_wcet
+from repro.workloads.suite import (analyze_workload, get_workload,
+                                   sweep_suite, workload_names)
+
+
+# -- Matrix expansion -----------------------------------------------------------
+
+
+def test_full_matrix_covers_19_x_3_x_2():
+    jobs = expand_matrix("all:all:all")
+    assert len(jobs) == len(workload_names()) * 3 * 2
+    assert len(set(jobs)) == len(jobs)
+    # Models iterate innermost so sequential sweeps share per-policy
+    # artifacts between the two models.
+    assert jobs[0].workload == jobs[1].workload
+    assert jobs[0].policy == jobs[1].policy
+    assert jobs[0].model != jobs[1].model
+
+
+def test_matrix_components_default_to_all():
+    assert expand_matrix("fibcall") == expand_matrix("fibcall:all:all")
+    assert len(expand_matrix("fibcall:vivu")) == 2
+    assert expand_matrix("fibcall,bs:full:krisc5") == [
+        JobSpec("fibcall", "full", "krisc5"),
+        JobSpec("bs", "full", "krisc5")]
+
+
+@pytest.mark.parametrize("bad", [
+    "nosuchworkload", "fibcall:nosuchpolicy", "fibcall:full:nosuchmodel",
+    "a:b:c:d", "fibcall:full@1", "fibcall:klimited@1@2",
+    "fibcall:vivu@x"])
+def test_bad_matrix_components_are_rejected(bad):
+    with pytest.raises(ValueError):
+        expand_matrix(bad)
+
+
+def test_policy_tokens():
+    assert isinstance(parse_policy("full"), FullCallString)
+    assert parse_policy("klimited").k == 2
+    assert parse_policy("klimited@3").k == 3
+    vivu = parse_policy("vivu@2@1")
+    assert isinstance(vivu, VIVU)
+    assert vivu.peel == 2 and vivu.k == 1
+    assert parse_policy("vivu").peel == 1
+
+
+# -- Artifact cache -------------------------------------------------------------
+
+
+def test_cache_roundtrip_on_disk(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s")
+    key = cache.key("material")
+    assert cache.lookup(key) == (False, None)
+    cache.store(key, {"artifact": [1, 2, 3]})
+    # A fresh cache object (fresh process in real life) reads from disk.
+    fresh = ArtifactCache(str(tmp_path), salt="s")
+    hit, value = fresh.lookup(key)
+    assert hit and value == {"artifact": [1, 2, 3]}
+    assert fresh.hit_ratio() == 1.0
+
+
+def test_salt_change_invalidates_everything(tmp_path):
+    first = ArtifactCache(str(tmp_path), salt="v1")
+    second = ArtifactCache(str(tmp_path), salt="v2")
+    assert first.key("m") != second.key("m")
+
+
+def test_corrupt_object_is_a_miss(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s")
+    key = cache.key("m")
+    cache.store(key, "value")
+    path = cache._object_path(key)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    fresh = ArtifactCache(str(tmp_path), salt="s")
+    assert fresh.lookup(key) == (False, None)
+
+
+def test_code_version_salt_is_stable_and_hex():
+    salt = code_version_salt()
+    assert salt == code_version_salt()
+    assert len(salt) == 64
+    int(salt, 16)
+
+
+def test_program_content_digest():
+    program = get_workload("fibcall").compile()
+    again = get_workload("fibcall").compile()
+    other = get_workload("bs").compile()
+    assert program.content_digest() == again.content_digest()
+    assert program.content_digest() != other.content_digest()
+
+
+# -- Cached analysis bit-identity ----------------------------------------------
+
+
+def test_cached_analysis_is_bit_identical_to_uncached(tmp_path):
+    workload = get_workload("bs")
+    plain = analyze_workload(workload)
+    cache = ArtifactCache(str(tmp_path))
+    cold = analyze_workload(workload, phase_cache=cache)
+    warm = analyze_workload(workload, phase_cache=cache)
+
+    assert plain.cache_events == {}
+    assert set(cold.cache_events) == set(PHASES)
+    assert all(event == "hit" for event in warm.cache_events.values())
+    for result in (cold, warm):
+        assert result.wcet_cycles == plain.wcet_cycles
+        assert result.loop_bounds == plain.loop_bounds
+        strip = lambda r: "\n".join(
+            line for line in wcet_report(r).splitlines()
+            if " ms" not in line)
+        assert strip(result) == strip(plain)
+
+
+def test_phase_sharing_across_pipeline_models(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    program = get_workload("fibcall").compile()
+    analyze_wcet(program, phase_cache=cache)
+    second = analyze_wcet(program, pipeline_model="krisc5",
+                          phase_cache=cache)
+    # Everything up to the timing model is model-independent.
+    for phase in ("cfg", "value", "loopbounds", "icache", "dcache"):
+        assert second.cache_events[phase] == "hit", phase
+    for phase in ("pipeline", "path"):
+        assert second.cache_events[phase] == "miss", phase
+
+
+def test_machine_config_change_invalidates_cache_phases(tmp_path):
+    cache = ArtifactCache(str(tmp_path))
+    program = get_workload("fibcall").compile()
+    analyze_wcet(program, phase_cache=cache)
+    changed = analyze_wcet(
+        program, config=MachineConfig(branch_penalty=5),
+        phase_cache=cache)
+    assert changed.cache_events["icache"] == "hit"
+    assert changed.cache_events["pipeline"] == "miss"
+
+
+# -- Sweep execution ------------------------------------------------------------
+
+SMALL_MATRIX = "fibcall,bs:full,vivu:additive,krisc5"
+
+
+def test_sequential_sweep_cold_then_warm(tmp_path):
+    jobs = expand_matrix(SMALL_MATRIX)
+    cache_dir = str(tmp_path / "cache")
+    cold = run_sweep(jobs, parallel=1, cache_dir=cache_dir)
+    warm = run_sweep(jobs, parallel=1, cache_dir=cache_dir)
+
+    assert cold.errors == [] and warm.errors == []
+    # Rows come back in job order regardless of anything.
+    assert [(row["workload"], row["policy"], row["model"])
+            for row in cold.rows] == \
+        [(spec.workload, spec.policy, spec.model) for spec in jobs]
+    assert warm.bounds() == cold.bounds()
+    assert warm.hit_ratio() == 1.0
+    assert warm.cache_misses == 0
+
+
+def test_sweep_writes_jsonl_in_job_order(tmp_path):
+    jobs = expand_matrix("fibcall:full")
+    path = str(tmp_path / "results.jsonl")
+    result = run_sweep(jobs, parallel=1, jsonl_path=path)
+    lines = [json.loads(line)
+             for line in open(path).read().splitlines()]
+    assert len(lines) == len(jobs) == 2
+    assert [row["model"] for row in lines] == ["additive", "krisc5"]
+    assert lines[0]["wcet_cycles"] == result.rows[0]["wcet_cycles"]
+    for row in lines:
+        assert set(row["cache"]["events"]) == set(PHASES)
+        assert row["phase_seconds"].keys() == row["cache"]["events"].keys()
+
+
+def test_no_cache_sweep_records_no_events():
+    result = run_sweep(expand_matrix("fibcall:full:additive"),
+                       use_cache=False)
+    assert result.errors == []
+    assert result.rows[0]["cache"] == {"events": {}, "hits": 0,
+                                       "misses": 0}
+    assert result.hit_ratio() == 0.0
+
+
+def test_parallel_sweep_matches_sequential(tmp_path):
+    jobs = expand_matrix(SMALL_MATRIX)
+    sequential = run_sweep(jobs, parallel=1,
+                           cache_dir=str(tmp_path / "seq"))
+    parallel = run_sweep(jobs, parallel=2,
+                         cache_dir=str(tmp_path / "par"))
+    assert parallel.errors == []
+    assert parallel.bounds() == sequential.bounds()
+    assert [(row["workload"], row["policy"], row["model"])
+            for row in parallel.rows] == \
+        [(spec.workload, spec.policy, spec.model) for spec in jobs]
+
+
+def test_golden_from_rows_rejects_error_rows():
+    rows = [{"workload": "fibcall", "policy": "full",
+             "model": "additive", "error": "ValueError: boom"}]
+    with pytest.raises(ValueError, match="failed job"):
+        golden_from_rows(rows)
+
+
+def test_merge_golden_refreshes_only_swept_points():
+    base = {"fibcall": {"full": {"additive": 418, "krisc5": 392}},
+            "bs": {"full": {"additive": 203}}}
+    update = {"fibcall": {"full": {"krisc5": 390},
+                          "vivu": {"additive": 418}}}
+    merged = merge_golden(base, update)
+    assert merged == {
+        "fibcall": {"full": {"additive": 418, "krisc5": 390},
+                    "vivu": {"additive": 418}},
+        "bs": {"full": {"additive": 203}}}
+    # Inputs are not mutated.
+    assert base["fibcall"]["full"]["krisc5"] == 392
+
+
+def test_sweep_suite_wrapper(tmp_path):
+    result = sweep_suite("fibcall:full:additive",
+                         cache_dir=str(tmp_path / "cache"))
+    assert result.errors == []
+    assert len(result.rows) == 1
+    golden = golden_from_rows(result.rows)
+    assert golden == {"fibcall": {"full": {
+        "additive": result.rows[0]["wcet_cycles"]}}}
+
+
+def test_concurrent_workers_share_one_cache_directory(tmp_path):
+    """Two workers writing the same artifacts must not corrupt the
+    store: a warm rerun still serves every phase from cache."""
+    jobs = expand_matrix(SMALL_MATRIX)
+    cache_dir = str(tmp_path / "cache")
+    cold = run_sweep(jobs, parallel=2, cache_dir=cache_dir)
+    warm = run_sweep(jobs, parallel=2, cache_dir=cache_dir)
+    assert cold.errors == [] and warm.errors == []
+    assert warm.bounds() == cold.bounds()
+    assert warm.hit_ratio() == 1.0
+
+
+def test_artifacts_survive_pickling_of_every_phase(tmp_path):
+    """Every on-disk object must deserialise (guards against types
+    whose pickling silently breaks, e.g. __slots__ immutability)."""
+    cache_dir = str(tmp_path / "cache")
+    run_sweep(expand_matrix("calltree:vivu"), cache_dir=cache_dir)
+    objects = 0
+    for dirpath, _, filenames in os.walk(cache_dir):
+        for filename in filenames:
+            with open(os.path.join(dirpath, filename), "rb") as handle:
+                pickle.load(handle)
+            objects += 1
+    assert objects > 0

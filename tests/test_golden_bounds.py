@@ -1,0 +1,68 @@
+"""Golden-bounds regression suite.
+
+PRs 2-4 claimed "bounds bit-identical on all 19 workloads x {full,
+klimited, vivu} x {additive, krisc5}" in commit messages; this suite
+turns that claim into an executed test.  ``tests/golden_bounds.json``
+records the WCET bound of every matrix point; the full sweep runs once
+per session through the batch engine (sharing phase artifacts
+in-memory) and every point is asserted bit-identical.
+
+Regenerate after an intentional bound change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_bounds.py \
+        --update-golden
+
+(equivalently: ``python -m repro batch --write-golden
+tests/golden_bounds.json``).
+"""
+
+import os
+
+import pytest
+
+from repro.batch import (compare_rows, expand_matrix, flatten_golden,
+                         golden_from_rows, load_golden, run_sweep,
+                         save_golden)
+from repro.workloads.suite import workload_names
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden_bounds.json")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One full-matrix sweep, shared by every test in the module."""
+    return run_sweep(expand_matrix("all:all:all"), parallel=1)
+
+
+@pytest.fixture(scope="module")
+def golden(request, sweep):
+    if request.config.getoption("--update-golden"):
+        save_golden(GOLDEN_PATH, golden_from_rows(sweep.rows))
+    return load_golden(GOLDEN_PATH)
+
+
+def test_sweep_has_no_failed_jobs(sweep):
+    assert sweep.errors == []
+
+
+def test_golden_covers_the_full_matrix(golden):
+    expected = {(spec.workload, spec.policy, spec.model)
+                for spec in expand_matrix("all:all:all")}
+    assert set(flatten_golden(golden)) == expected
+
+
+@pytest.mark.parametrize("workload", workload_names())
+def test_bounds_bit_identical(workload, sweep, golden):
+    rows = [row for row in sweep.rows if row["workload"] == workload]
+    assert len(rows) == 6          # 3 policies x 2 models
+    assert compare_rows(rows, golden) == []
+
+
+def test_krisc5_never_looser_than_additive(golden):
+    """The S6 model-tightness obligation, stated over the golden set
+    itself so it keeps holding for whatever bounds get recorded."""
+    for workload, policies in golden.items():
+        for policy, models in policies.items():
+            assert models["krisc5"] <= models["additive"], \
+                f"{workload}/{policy}"
