@@ -63,6 +63,14 @@ LARGE_PATH_BUDGET_SECONDS = 2.5
 #: Timing models measured per point (per-model WCET + phase wall clock).
 MODELS = ("additive", "krisc5")
 
+#: Abstract-domain implementations compared on the large point, and the
+#: regression guard on their combined value+icache phase wall clock:
+#: the numpy implementation must stay at least this many times faster
+#: than the pure-Python reference (measured headroom is ~3x, see the
+#: ``domain_impls`` entry of the large point).
+DOMAIN_IMPLS = ("python", "numpy")
+DOMAIN_IMPL_SPEEDUP_GUARD = 2.0
+
 #: Context policies whose expansion footprint every point records
 #: (context-explosion regression guard).
 POLICIES = (FullCallString(), KLimitedCallString(2), VIVU(peel=1))
@@ -189,6 +197,30 @@ def measure_large_point(repeat: int) -> Dict:
         if result is None or wall <= min(wall_times):
             result = analyzed
 
+    # Per-implementation comparison of the two vectorized phases
+    # (value analysis and I-cache analysis): best combined wall clock
+    # over `repeat` runs each, plus the bit-identity of the bounds.
+    domain_impls: Dict[str, Dict] = {}
+    for impl in DOMAIN_IMPLS:
+        best = None
+        for _ in range(repeat):
+            analyzed = analyze_wcet(program, domain_impl=impl)
+            combined = (analyzed.phase_seconds["value"]
+                        + analyzed.phase_seconds["icache"])
+            if best is None or combined < best["combined_seconds"]:
+                best = {
+                    "wcet_cycles": analyzed.wcet_cycles,
+                    "value_seconds": round(
+                        analyzed.phase_seconds["value"], 4),
+                    "icache_seconds": round(
+                        analyzed.phase_seconds["icache"], 4),
+                    "combined_seconds": combined,
+                }
+        best["combined_seconds"] = round(best["combined_seconds"], 4)
+        domain_impls[impl] = best
+    speedup = (domain_impls["python"]["combined_seconds"]
+               / max(domain_impls["numpy"]["combined_seconds"], 1e-9))
+
     phase_seconds = {phase: round(seconds, 4)
                      for phase, seconds in result.phase_seconds.items()}
     return {
@@ -203,6 +235,8 @@ def measure_large_point(repeat: int) -> Dict:
         "phase_seconds": phase_seconds,
         "lp_supernodes": result.path.lp_supernodes,
         "ilp_stats": result.solver_stats["path"].as_dict(),
+        "domain_impls": domain_impls,
+        "domain_impl_speedup": round(speedup, 2),
         "models": {"additive": {"wcet_cycles": result.wcet_cycles,
                                 "phase_seconds": phase_seconds}},
     }
@@ -323,6 +357,11 @@ def main(argv=None) -> int:
           f"(path {large['path_seconds'] * 1000:.0f} ms, "
           f"{large['ilp_stats']['pivots']} pivots), "
           f"WCET {large['wcet_cycles']}")
+    impls = large["domain_impls"]
+    print(f"domain impls (value+icache): python "
+          f"{impls['python']['combined_seconds'] * 1000:.0f} ms, numpy "
+          f"{impls['numpy']['combined_seconds'] * 1000:.0f} ms "
+          f"({large['domain_impl_speedup']:.2f}x)")
 
     batch = measure_batch_sweep(args.quick)
     print(f"\nbatch sweep ({batch['jobs']} jobs, {batch['matrix']}): "
@@ -344,6 +383,17 @@ def main(argv=None) -> int:
         failures.append(
             f"large point path phase took {large['path_seconds']:.2f}s "
             f"> budget {LARGE_PATH_BUDGET_SECONDS}s")
+    impl_bounds = {impl: entry["wcet_cycles"]
+                   for impl, entry in large["domain_impls"].items()}
+    if len(set(impl_bounds.values())) != 1:
+        failures.append(
+            f"domain implementations disagree on the large point's "
+            f"bound: {impl_bounds}")
+    if large["domain_impl_speedup"] < DOMAIN_IMPL_SPEEDUP_GUARD:
+        failures.append(
+            f"numpy domain impl only {large['domain_impl_speedup']:.2f}x "
+            f"faster than python on combined value+icache "
+            f"(required {DOMAIN_IMPL_SPEEDUP_GUARD}x)")
 
     largest = points[len(points) - 2]     # largest E7 point
     ratio = largest["wto"]["transfers"] / largest["fifo"]["transfers"]

@@ -59,9 +59,18 @@ def cmd_wcet(args: argparse.Namespace) -> int:
     policy = make_policy(args.context_policy, k=args.k, peel=args.peel)
     result = analyze_wcet(program, manual_loop_bounds=manual,
                           register_ranges=ranges, context_policy=policy,
-                          pipeline_model=args.pipeline_model)
+                          pipeline_model=args.pipeline_model,
+                          domain_impl=args.domain_impl,
+                          profile=args.profile)
     stack = analyze_stack(program, register_ranges=ranges)
     print(wcet_report(result, stack))
+    if args.profile:
+        import pstats
+        for phase, prof in result.profiles.items():
+            print(f"\n=== profile: {phase} "
+                  f"({result.phase_seconds.get(phase, 0.0):.3f}s) ===")
+            pstats.Stats(prof, stream=sys.stdout) \
+                .sort_stats("cumulative").print_stats(20)
     if args.path:
         print(worst_case_path_table(result))
     if args.dot:
@@ -118,7 +127,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     result = sweep_suite(args.matrix, parallel=args.jobs,
                          cache_dir=args.cache_dir,
                          use_cache=not args.no_cache,
-                         jsonl_path=args.jsonl)
+                         jsonl_path=args.jsonl,
+                         cache_limit_mb=args.cache_limit_mb)
     jobs = result.jobs
 
     header = (f"{'workload':<12} {'policy':<12} {'model':<9} "
@@ -214,6 +224,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "additive costs (default) or the "
                              "overlapped 5-stage krisc5 pipeline "
                              "(abstract pipeline-state analysis)")
+    p_wcet.add_argument("--domain-impl", default=None,
+                        choices=["python", "numpy"],
+                        help="abstract-domain implementation: packed "
+                             "numpy arrays (default) or the pure-Python "
+                             "reference; bounds are identical either "
+                             "way (overrides $REPRO_DOMAIN_IMPL)")
+    p_wcet.add_argument("--profile", action="store_true",
+                        help="profile each analysis phase (cProfile) "
+                             "and print its top-20 functions by "
+                             "cumulative time")
     p_wcet.set_defaults(func=cmd_wcet)
 
     p_stack = sub.add_parser("stack", help="verify stack usage")
@@ -262,6 +282,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=None, metavar="R",
                         help="fail unless the phase-cache hit ratio "
                              "is at least R (CI warm-cache guard)")
+    p_batch.add_argument("--cache-limit-mb", type=float, default=None,
+                        metavar="MB",
+                        help="evict oldest artifact-cache entries "
+                             "(by mtime) once the on-disk cache "
+                             "exceeds this size; requires --cache-dir")
     p_batch.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)

@@ -18,10 +18,12 @@ from .fixpoint import (FixpointKernel, FixpointSemantics, FixpointStats,
                        weak_topological_order)
 from .solver import FixpointResult, FixpointSolver, collect_thresholds
 from .state import AbstractMemory, AbstractState, FlagsInfo
-from .transfer import (evaluate_condition, refine_by_condition,
-                       transfer_block, transfer_instruction)
+from .transfer import (compile_block, evaluate_condition,
+                       refine_by_condition, transfer_block,
+                       transfer_instruction)
 from .valueanalysis import (MemoryAccess, PrecisionStats,
                             ValueAnalysisResult, analyze_values)
+from .vectorized import AddressSpace, VectorMemory
 
 __all__ = [
     "Const", "AbstractValue", "INT_MAX", "INT_MIN", "to_signed",
@@ -32,8 +34,9 @@ __all__ = [
     "weak_topological_order",
     "FixpointResult", "FixpointSolver", "collect_thresholds",
     "AbstractMemory", "AbstractState", "FlagsInfo",
-    "evaluate_condition", "refine_by_condition", "transfer_block",
-    "transfer_instruction",
+    "compile_block", "evaluate_condition", "refine_by_condition",
+    "transfer_block", "transfer_instruction",
     "MemoryAccess", "PrecisionStats", "ValueAnalysisResult",
     "analyze_values",
+    "AddressSpace", "VectorMemory",
 ]

@@ -50,6 +50,16 @@ class Interval(AbstractValue):
     def range(cls, low: int, high: int) -> "Interval":
         return cls(max(low, INT_MIN), min(high, INT_MAX))
 
+    @classmethod
+    def from_bounds(cls, lo, hi) -> "Interval":
+        """Interval from packed (possibly numpy-integer) bounds.
+
+        Converts to Python ints at the boundary so downstream
+        arithmetic stays arbitrary-precision instead of silently
+        wrapping in fixed-width numpy scalars.
+        """
+        return cls(int(lo), int(hi))
+
     # -- Lattice --------------------------------------------------------------
 
     def is_top(self) -> bool:

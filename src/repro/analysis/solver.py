@@ -31,7 +31,7 @@ from .domain import AbstractValue
 from .fixpoint import (MAX_TRANSFERS, FixpointKernel, FixpointSemantics,
                        FixpointStats)
 from .state import AbstractState
-from .transfer import refine_by_condition, transfer_block
+from .transfer import compile_block, refine_by_condition, transfer_block
 
 #: Visits of a loop header before widening kicks in (delayed widening
 #: buys precision for short loops at negligible cost).
@@ -75,16 +75,34 @@ class FixpointResult:
 
 
 class _ValueSemantics(FixpointSemantics):
-    """Kernel adapter for abstract machine states over a task graph."""
+    """Kernel adapter for abstract machine states over a task graph.
+
+    With ``compiled=True`` every basic block is compiled once into a
+    fused transfer closure (:func:`compile_block`) keyed by block
+    identity — context copies of the same block share one compilation
+    — and the kernel's transfers (including narrowing passes, which
+    route through the same hook) run the compiled form.
+    """
 
     widening = True
 
-    def __init__(self, graph: TaskGraph, thresholds: Sequence[int]):
+    def __init__(self, graph: TaskGraph, thresholds: Sequence[int],
+                 compiled: bool = False):
         self.blocks = graph.blocks
         self.thresholds = thresholds
+        self.compiled = compiled
+        # id -> (block, fn); the block reference keeps the id alive.
+        self._compiled_blocks: Dict[int, Tuple[object, object]] = {}
 
     def transfer(self, node: NodeId, state: AbstractState) -> AbstractState:
-        return transfer_block(state, self.blocks[node])
+        block = self.blocks[node]
+        if self.compiled:
+            entry = self._compiled_blocks.get(id(block))
+            if entry is None:
+                entry = (block, compile_block(block, state.domain))
+                self._compiled_blocks[id(block)] = entry
+            return entry[1](state)
+        return transfer_block(state, block)
 
     def edge_state(self, edge: TaskEdge,
                    out_state: AbstractState) -> Optional[AbstractState]:
@@ -109,13 +127,15 @@ class FixpointSolver:
                  widen_delay: int = DEFAULT_WIDEN_DELAY,
                  narrowing_passes: int = DEFAULT_NARROWING_PASSES,
                  use_widening_thresholds: bool = True,
-                 strategy: str = "wto"):
+                 strategy: str = "wto",
+                 compiled_transfer: bool = False):
         if strategy not in ("wto", "fifo"):
             raise ValueError(f"unknown solver strategy {strategy!r}")
         self.graph = graph
         self.widen_delay = widen_delay
         self.narrowing_passes = narrowing_passes
         self.strategy = strategy
+        self.compiled_transfer = compiled_transfer
         self.thresholds = tuple(collect_thresholds(graph)) \
             if use_widening_thresholds else ()
 
@@ -131,7 +151,8 @@ class FixpointSolver:
         loop_forest = find_loops(graph.entry, graph.adjacency())
         kernel = FixpointKernel(
             graph.entry, graph.successors, lambda e: e.target,
-            _ValueSemantics(graph, self.thresholds),
+            _ValueSemantics(graph, self.thresholds,
+                            compiled=self.compiled_transfer),
             widen_delay=self.widen_delay,
             sort_key=TaskGraph.node_key,
             predecessor_edges=graph.predecessors,

@@ -128,6 +128,11 @@ class AbstractMemory:
         for word in words:
             self.entries[word] = self.entries[word].join(value)
 
+    def seed(self, address: int, value: AbstractValue) -> None:
+        """Strong update at a concrete address (entry-state seeding)."""
+        self._materialize()
+        self.entries[_align(address)] = value
+
     def _havoc(self, lo: int, hi: int) -> None:
         doomed = [w for w in self.entries if lo - 3 <= w <= hi]
         if not doomed:
@@ -258,7 +263,8 @@ class AbstractState:
                     register_ranges: Optional[
                         Dict[int, Tuple[int, int]]] = None,
                     memory_ranges: Optional[
-                        Dict[int, Tuple[int, int]]] = None
+                        Dict[int, Tuple[int, int]]] = None,
+                    memory: Optional[AbstractMemory] = None
                     ) -> "AbstractState":
         """The abstract state at task entry.
 
@@ -268,17 +274,17 @@ class AbstractState:
         range the environment may have placed there before the task
         runs (input buffers) — overriding the binary's initial image,
         so the analysis never treats externally-written data as the
-        constants the image happens to contain.
+        constants the image happens to contain.  ``memory`` overrides
+        the backing abstract memory (e.g. a vectorized one).
         """
-        state = cls(domain)
+        state = cls(domain, memory=memory)
         state.regs[SP] = domain.const(stack_pointer)
         if initial_memory:
             for address, word in initial_memory.items():
-                state.memory.entries[_align(address)] = domain.const(word)
+                state.memory.seed(address, domain.const(word))
         if memory_ranges:
             for address, (low, high) in memory_ranges.items():
-                state.memory.entries[_align(address)] = \
-                    domain.range(low, high)
+                state.memory.seed(address, domain.range(low, high))
         if register_ranges:
             for reg, (low, high) in register_ranges.items():
                 state.regs[reg] = domain.range(low, high)

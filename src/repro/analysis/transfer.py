@@ -144,6 +144,121 @@ def transfer_block(state: AbstractState, instructions) -> AbstractState:
     return current
 
 
+def compile_block(instructions, domain: Type[AbstractValue]):
+    """Compile a basic block into a fused transfer function.
+
+    The returned callable has the exact semantics of
+    :func:`transfer_block` but pays the per-instruction costs — opcode
+    dispatch, method lookup, immediate-to-abstract-constant lifting —
+    once at compile time instead of at every fixpoint iteration: each
+    instruction becomes a closure over a prebound domain operation and
+    preallocated abstract constants.  Opcodes with no data effect
+    (branches, ``NOP``, ``HALT``) compile to nothing.
+
+    Each closure returns True when the value it wrote is bottom, which
+    reproduces ``transfer_block``'s early exit: a non-bottom entry
+    state can only become bottom through the value just written.
+    """
+    const = domain.const
+    steps = []
+    for instr in instructions:
+        op = instr.opcode
+        method = _ALU_REG.get(op)
+        if method is not None:
+            fn = getattr(domain, method)
+
+            def step(s, fn=fn, rd=instr.rd, rs1=instr.rs1, rs2=instr.rs2):
+                v = fn(s.regs[rs1], s.regs[rs2])
+                s.set(rd, v)
+                return v.is_bottom()
+        elif (method := _ALU_IMM.get(op)) is not None:
+            fn = getattr(domain, method)
+            imm_value = const(instr.imm)
+            if op is Opcode.ADDI or op is Opcode.SUBI:
+                offset = instr.imm if op is Opcode.ADDI else -instr.imm
+
+                def step(s, fn=fn, rd=instr.rd, rs1=instr.rs1,
+                         c=imm_value, off=offset):
+                    v = fn(s.regs[rs1], c)
+                    s.set(rd, v)
+                    s.set_alias(rd, rs1, off)
+                    return v.is_bottom()
+            else:
+                def step(s, fn=fn, rd=instr.rd, rs1=instr.rs1,
+                         c=imm_value):
+                    v = fn(s.regs[rs1], c)
+                    s.set(rd, v)
+                    return v.is_bottom()
+        elif op is Opcode.MOV:
+            def step(s, rd=instr.rd, rs1=instr.rs1):
+                v = s.regs[rs1]
+                s.set(rd, v)
+                s.set_alias(rd, rs1, 0)
+                return v.is_bottom()
+        elif op is Opcode.MOVI:
+            def step(s, rd=instr.rd, c=const(instr.imm)):
+                s.set(rd, c)
+                return False
+        elif op is Opcode.MOVHI:
+            def step(s, rd=instr.rd, mask=const(0xFFFF),
+                     high=const(instr.imm << 16)):
+                v = s.regs[rd].bitand(mask).bitor(high)
+                s.set(rd, v)
+                return v.is_bottom()
+        elif op is Opcode.CMP:
+            def step(s, rs1=instr.rs1, rs2=instr.rs2):
+                s.flags = FlagsInfo(s.regs[rs1], s.regs[rs2], rs1, rs2)
+                return False
+        elif op is Opcode.CMPI:
+            def step(s, rs1=instr.rs1, right=const(instr.imm)):
+                s.flags = FlagsInfo(s.regs[rs1], right, rs1, None)
+                return False
+        elif op is Opcode.LDR:
+            def step(s, rd=instr.rd, rs1=instr.rs1, c=const(instr.imm)):
+                v = s.memory.load(s.regs[rs1].add(c))
+                s.set(rd, v)
+                return v.is_bottom()
+        elif op is Opcode.LDRX:
+            def step(s, rd=instr.rd, rs1=instr.rs1, rs2=instr.rs2):
+                v = s.memory.load(s.regs[rs1].add(s.regs[rs2]))
+                s.set(rd, v)
+                return v.is_bottom()
+        elif op is Opcode.STR:
+            def step(s, rs1=instr.rs1, rs2=instr.rs2, c=const(instr.imm)):
+                s.memory.store(s.regs[rs1].add(c), s.regs[rs2])
+                return False
+        elif op is Opcode.STRX:
+            def step(s, rd=instr.rd, rs1=instr.rs1, rs2=instr.rs2):
+                s.memory.store(s.regs[rs1].add(s.regs[rs2]), s.regs[rd])
+                return False
+        elif op is Opcode.PUSH:
+            def step(s, instr=instr):
+                _transfer_push(s, instr)
+                return False
+        elif op is Opcode.POP:
+            def step(s, instr=instr):
+                _transfer_pop(s, instr)
+                return False
+        elif op in (Opcode.BL, Opcode.BLR):
+            def step(s, link=const(instr.address + 4)):
+                s.set(LR, link)
+                return False
+        else:
+            continue    # B, BCC, BR, RET, NOP, HALT: no data effect
+        steps.append(step)
+
+    def run(state: AbstractState) -> AbstractState:
+        current = state.copy()
+        if current.is_bottom():
+            return current
+        for step in steps:
+            if step(current):
+                break
+        return current
+
+    return run
+
+
 def condition_operator(cond: Cond, left: AbstractValue,
                        right: AbstractValue) -> Optional[str]:
     """The signed operator asserted by ``cond``, or ``None`` when the

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from ..cfg.expand import NodeId, TaskEdge, TaskGraph
+from ..domainimpl import resolve_domain_impl
 from ..isa.instructions import Instruction, Opcode
 from ..isa.registers import SP
 from .domain import AbstractValue
@@ -26,6 +27,7 @@ from .solver import (DEFAULT_NARROWING_PASSES, DEFAULT_WIDEN_DELAY,
 from .state import AbstractState
 from .transfer import (evaluate_condition, refine_by_condition,
                        transfer_instruction)
+from .vectorized import AddressSpace, VectorMemory
 
 
 @dataclass(frozen=True)
@@ -209,7 +211,8 @@ def analyze_values(graph: TaskGraph,
                    use_widening_thresholds: bool = True,
                    strategy: str = "wto",
                    memory_ranges: Optional[
-                       Dict[int, Tuple[int, int]]] = None
+                       Dict[int, Tuple[int, int]]] = None,
+                   domain_impl: Optional[str] = None
                    ) -> ValueAnalysisResult:
     """Run value analysis on a task (phase 2 of the aiT pipeline).
 
@@ -219,13 +222,23 @@ def analyze_values(graph: TaskGraph,
     overriding the values the binary image happens to contain.
     ``strategy`` selects the fixpoint engine: the shared WTO kernel
     (default) or the legacy FIFO worklist (kept for differential
-    testing and benchmarking).
+    testing and benchmarking).  ``domain_impl`` selects the domain
+    implementation (:mod:`repro.domainimpl`); the packed-array memory
+    and compiled block transfers are interval-specific, so other
+    domains always run the pure-Python reference implementation.
     """
+    impl = resolve_domain_impl(domain_impl)
+    if domain is not Interval:
+        impl = "python"     # VectorMemory packs exactly two bounds/word
     program = graph.binary.program
+    memory = VectorMemory(domain, AddressSpace()) \
+        if impl == "numpy" else None
     entry_state = AbstractState.entry_state(
         domain, program.memory_map.stack_base, program.initial_memory(),
-        register_ranges, memory_ranges)
+        register_ranges, memory_ranges, memory=memory)
     solver = FixpointSolver(graph, widen_delay, narrowing_passes,
-                            use_widening_thresholds, strategy=strategy)
+                            use_widening_thresholds, strategy=strategy,
+                            compiled_transfer=(impl == "numpy"
+                                               and strategy == "wto"))
     fixpoint = solver.solve(entry_state)
     return ValueAnalysisResult(graph, fixpoint, domain)

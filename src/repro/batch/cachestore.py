@@ -73,11 +73,14 @@ class ArtifactCache:
     """
 
     def __init__(self, root: Optional[str] = None,
-                 salt: Optional[str] = None):
+                 salt: Optional[str] = None,
+                 limit_bytes: Optional[int] = None):
         self.root = root
         self.salt = salt if salt is not None else code_version_salt()
+        self.limit_bytes = limit_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._memory: dict = {}
 
     # -- Protocol -----------------------------------------------------------
@@ -135,6 +138,45 @@ class ArtifactCache:
             # next process simply recomputes, mirroring how lookup()
             # treats unreadable objects as misses.
             pass
+        else:
+            if self.limit_bytes is not None:
+                self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        """Drop oldest on-disk objects (by mtime) until the store fits
+        ``limit_bytes`` again.
+
+        Eviction only unlinks files — in-memory memoisation keeps this
+        process's working set, and an evicted artifact is simply
+        recomputed on its next cold lookup.  Races with concurrent
+        workers (a file disappearing mid-scan) degrade to no-ops.
+        """
+        objects_root = os.path.join(self.root, "objects")
+        entries = []
+        total = 0
+        for dirpath, _, filenames in os.walk(objects_root):
+            for filename in filenames:
+                if not filename.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+        if total <= self.limit_bytes:
+            return
+        entries.sort()
+        for _, size, path in entries:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.limit_bytes:
+                break
 
     # -- Introspection ------------------------------------------------------
 

@@ -33,9 +33,11 @@ from .jobs import JobSpec
 #: is identical for all of them.
 _PROGRAM_MEMO: Dict[str, Program] = {}
 
-#: Per-process artifact cache, keyed by (root, salt) so pool workers
-#: reuse one cache (and its in-memory object memo) across their jobs.
-_CACHE_MEMO: Dict[Tuple[Optional[str], Optional[str]], ArtifactCache] = {}
+#: Per-process artifact cache, keyed by (root, salt, limit) so pool
+#: workers reuse one cache (and its in-memory object memo) across
+#: their jobs.
+_CACHE_MEMO: Dict[Tuple[Optional[str], Optional[str], Optional[int]],
+                  ArtifactCache] = {}
 
 
 def clear_process_caches() -> None:
@@ -50,13 +52,16 @@ def clear_process_caches() -> None:
 
 
 def _process_cache(cache_dir: Optional[str], salt: Optional[str],
-                   use_cache: bool) -> Optional[ArtifactCache]:
+                   use_cache: bool,
+                   limit_bytes: Optional[int] = None
+                   ) -> Optional[ArtifactCache]:
     if not use_cache:
         return None
-    memo_key = (cache_dir, salt)
+    memo_key = (cache_dir, salt, limit_bytes)
     cache = _CACHE_MEMO.get(memo_key)
     if cache is None:
-        cache = ArtifactCache(cache_dir, salt=salt)
+        cache = ArtifactCache(cache_dir, salt=salt,
+                              limit_bytes=limit_bytes)
         _CACHE_MEMO[memo_key] = cache
     return cache
 
@@ -120,7 +125,7 @@ def _error_row(spec: JobSpec, exc: Exception) -> dict:
 
 
 def _pool_group(payload: Tuple[List[int], List[JobSpec], Optional[str],
-                               Optional[str], bool]
+                               Optional[str], bool, Optional[int]]
                 ) -> List[Tuple[int, dict]]:
     """Pool task: run one workload's jobs back to back.
 
@@ -131,8 +136,8 @@ def _pool_group(payload: Tuple[List[int], List[JobSpec], Optional[str],
     worker count instead of recomputing shared artifacts on every
     worker.
     """
-    indices, specs, cache_dir, salt, use_cache = payload
-    cache = _process_cache(cache_dir, salt, use_cache)
+    indices, specs, cache_dir, salt, use_cache, limit_bytes = payload
+    cache = _process_cache(cache_dir, salt, use_cache, limit_bytes)
     results = []
     for index, spec in zip(indices, specs):
         try:
@@ -217,7 +222,8 @@ def run_sweep(jobs: List[JobSpec],
               cache_dir: Optional[str] = None,
               use_cache: bool = True,
               salt: Optional[str] = None,
-              jsonl_path: Optional[str] = None) -> SweepResult:
+              jsonl_path: Optional[str] = None,
+              cache_limit_mb: Optional[float] = None) -> SweepResult:
     """Run every job of the sweep and collect rows in job order.
 
     ``parallel`` > 1 shards jobs over a process pool; with a shared
@@ -226,11 +232,15 @@ def run_sweep(jobs: List[JobSpec],
     ``use_cache=False`` disables caching entirely; ``cache_dir=None``
     with caching enabled still shares artifacts in memory within each
     process.  ``salt`` overrides the code-version salt (tests only).
+    ``cache_limit_mb`` bounds the on-disk store: after each write the
+    oldest objects (by mtime) are evicted until the store fits.
     """
     start = time.perf_counter()
+    limit_bytes = int(cache_limit_mb * 1024 * 1024) \
+        if cache_limit_mb is not None else None
     rows: List[Optional[dict]] = [None] * len(jobs)
     if parallel <= 1:
-        cache = _process_cache(cache_dir, salt, use_cache) \
+        cache = _process_cache(cache_dir, salt, use_cache, limit_bytes) \
             if cache_dir is not None else \
             (ArtifactCache(None, salt=salt) if use_cache else None)
         for index, spec in enumerate(jobs):
@@ -239,7 +249,8 @@ def run_sweep(jobs: List[JobSpec],
             except Exception as exc:
                 rows[index] = _error_row(spec, exc)
     else:
-        payloads = [(indices, specs, cache_dir, salt, use_cache)
+        payloads = [(indices, specs, cache_dir, salt, use_cache,
+                     limit_bytes)
                     for indices, specs in _group_jobs(jobs, parallel)]
         with ProcessPoolExecutor(max_workers=parallel,
                                  mp_context=_pool_context()) as pool:

@@ -8,6 +8,7 @@ from .analysis import (AccessSpec, CacheFixpoint, ClassificationStats,
                        analyze_dcache, analyze_icache)
 from .config import CacheConfig, MachineConfig
 from .lru import LRUCache
+from .vectorized import CacheLineIndex, VectorTripleCacheState
 
 __all__ = [
     "Classification", "MayCache", "MustCache", "PersistenceCache",
@@ -15,5 +16,6 @@ __all__ = [
     "AccessSpec", "CacheFixpoint", "ClassificationStats",
     "ClassifiedAccess", "DCacheResult", "ICacheResult",
     "analyze_dcache", "analyze_icache",
+    "CacheLineIndex", "VectorTripleCacheState",
     "CacheConfig", "MachineConfig", "LRUCache",
 ]

@@ -15,9 +15,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cfg.expand import NodeId, TaskGraph
+from ..domainimpl import resolve_domain_impl
 from ..isa.instructions import Instruction
 from .abstract import Classification, TripleCacheState
 from .config import CacheConfig
+from .vectorized import (CacheLineIndex, VectorTripleCacheState,
+                         apply_access, classify_access, compile_access,
+                         compile_block_accesses)
 from ..analysis.fixpoint import (FixpointKernel, FixpointSemantics,
                                  FixpointStats)
 from ..analysis.valueanalysis import MemoryAccess, ValueAnalysisResult
@@ -104,24 +108,53 @@ class CacheFixpoint:
     """
 
     def __init__(self, graph: TaskGraph, config: CacheConfig,
-                 accesses_of: Dict[NodeId, List[AccessSpec]]):
+                 accesses_of: Dict[NodeId, List[AccessSpec]],
+                 impl: Optional[str] = None):
         self.graph = graph
         self.config = config
         self.accesses_of = accesses_of
+        self.impl = resolve_domain_impl(impl)
         self.stats: Optional[FixpointStats] = None
+        self._index: Optional[CacheLineIndex] = None
+        self._compiled: Dict[NodeId, List[tuple]] = {}
+        self._fused: Dict[NodeId, List[tuple]] = {}
+        if self.impl == "numpy":
+            universe = set()
+            for specs in accesses_of.values():
+                for spec in specs:
+                    if spec.lines is not None:
+                        universe.update(spec.lines)
+            self._index = CacheLineIndex(config, universe)
+            self._compiled = {
+                node: [compile_access(self._index, spec.lines)
+                       for spec in specs]
+                for node, specs in accesses_of.items()}
+            # The fixpoint transfer only needs the block's *final*
+            # state, so it runs the fused form; classification replays
+            # the per-access list for intermediate states.
+            self._fused = {
+                node: compile_block_accesses(self._index, compiled)
+                for node, compiled in self._compiled.items()}
 
-    def solve(self) -> Dict[NodeId, TripleCacheState]:
+    def solve(self) -> Dict[NodeId, object]:
         """Entry cache state per node, starting from a cold cache."""
         graph = self.graph
         kernel = FixpointKernel(
             graph.entry, graph.successors, lambda e: e.target,
             _CacheSemantics(self), sort_key=TaskGraph.node_key)
-        states = kernel.solve(TripleCacheState(self.config))
+        if self.impl == "numpy":
+            cold = VectorTripleCacheState(self._index)
+        else:
+            cold = TripleCacheState(self.config)
+        states = kernel.solve(cold)
         self.stats = kernel.stats
         return states
 
-    def transfer(self, state: TripleCacheState,
-                 node: NodeId) -> TripleCacheState:
+    def transfer(self, state, node: NodeId):
+        if self.impl == "numpy":
+            for compiled in self._fused.get(node, []):
+                apply_access(state, compiled)
+            return state
         for spec in self.accesses_of.get(node, []):
             if spec.is_unknown:
                 state.access_unknown()
@@ -129,11 +162,23 @@ class CacheFixpoint:
                 state.access_range(list(spec.lines))
         return state
 
-    def classify_all(self, entry_states: Dict[NodeId, TripleCacheState]
+    def classify_all(self, entry_states: Dict[NodeId, object]
                      ) -> Dict[NodeId, List[Classification]]:
         """Classification of every access, walking each block from its
         fixpoint entry state."""
         result: Dict[NodeId, List[Classification]] = {}
+        if self.impl == "numpy":
+            for node, compiled_specs in self._compiled.items():
+                state = entry_states.get(node)
+                if state is None:
+                    continue
+                state = state.copy()
+                outcomes = []
+                for compiled in compiled_specs:
+                    outcomes.append(classify_access(state, compiled))
+                    apply_access(state, compiled)
+                result[node] = outcomes
+            return result
         for node, specs in self.accesses_of.items():
             state = entry_states.get(node)
             if state is None:
@@ -200,14 +245,15 @@ class ICacheResult:
         return self.classifications.get(node, [])
 
 
-def analyze_icache(graph: TaskGraph, config: CacheConfig) -> ICacheResult:
+def analyze_icache(graph: TaskGraph, config: CacheConfig,
+                   impl: Optional[str] = None) -> ICacheResult:
     """Classify every instruction fetch of the task."""
     accesses: Dict[NodeId, List[AccessSpec]] = {}
     for node in graph.nodes():
         specs = [AccessSpec((config.line_of(instr.address),))
                  for instr in graph.blocks[node]]
         accesses[node] = specs
-    fixpoint = CacheFixpoint(graph, config, accesses)
+    fixpoint = CacheFixpoint(graph, config, accesses, impl=impl)
     classifications = fixpoint.classify_all(fixpoint.solve())
     stats = ClassificationStats()
     for outcomes in classifications.values():
@@ -273,7 +319,8 @@ def _lines_of_access(access: MemoryAccess,
 
 def analyze_dcache(graph: TaskGraph, config: CacheConfig,
                    values: ValueAnalysisResult,
-                   use_value_analysis: bool = True) -> DCacheResult:
+                   use_value_analysis: bool = True,
+                   impl: Optional[str] = None) -> DCacheResult:
     """Classify every data access of the task.
 
     ``use_value_analysis=False`` is the D4 ablation: every access is
@@ -292,7 +339,7 @@ def analyze_dcache(graph: TaskGraph, config: CacheConfig,
         else:
             specs[node] = [AccessSpec(None) for _ in node_accesses]
 
-    fixpoint = CacheFixpoint(graph, config, specs)
+    fixpoint = CacheFixpoint(graph, config, specs, impl=impl)
     classifications = fixpoint.classify_all(fixpoint.solve())
 
     classified: Dict[NodeId, List[ClassifiedAccess]] = {}

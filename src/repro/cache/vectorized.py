@@ -1,0 +1,352 @@
+"""Dense numpy representation of the must/may/persistence cache states.
+
+The dict-based lattices of :mod:`repro.cache.abstract` spend the cache
+fixpoint's time iterating per-line dictionaries; this module re-encodes
+all three analyses of one cache as a single ``(3, n)`` age matrix over
+the finite *line universe* of the task (every line any access of the
+task can touch), with encodings chosen so the lattice operations become
+whole-array numpy ops:
+
+====  ===========================  ==========================  =========
+row   analysis                     present line                 absent
+====  ===========================  ==========================  =========
+0     must (upper age bound)       age ``0 .. assoc-1``        ``assoc``
+1     may (lower age bound)        ``-age`` (``0 .. -(a-1)``)  ``-assoc``
+2     persistence (saturating)     age ``0 .. assoc``          ``-1``
+====  ===========================  ==========================  =========
+
+Under these encodings *all three* joins are an elementwise
+``np.maximum`` and all three partial orders are an elementwise ``<=``:
+
+* must join is intersection-with-max-age (absent = ``assoc`` dominates),
+* may join is union-with-min-age (negating ages turns min into max and
+  makes absent, ``-assoc``, the identity),
+* persistence join is union-with-max-age (absent ``-1`` is the
+  identity).
+
+The may cache's ``universal`` flag (after an unknown-address access) is
+kept beside the matrix exactly as in the dict implementation.
+
+Slots are ordered by ``(line % num_sets, line)``, so each cache set is
+one contiguous slice and the aging step of a single access is a masked
+increment on that slice.  Every operation reproduces the dict
+implementation bit for bit — same joins, same ``leq`` verdicts, same
+classifications — which the hypothesis lockstep suite
+(``tests/test_vectorized_domains.py``) pins operation by operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .abstract import Classification
+from .config import CacheConfig
+
+#: Compiled access kinds (first element of a compiled access tuple).
+_UNKNOWN, _SINGLE, _MANY, _FUSED = 0, 1, 2, 3
+
+
+class CacheLineIndex:
+    """Immutable mapping from the task's line universe to matrix slots.
+
+    Slots are sorted by ``(set index, line)``: each set occupies one
+    contiguous slice ``set_bounds[s] = (start, end)``.  Lines outside
+    the universe can never be accessed by the task, so they need no
+    slot (a cold absent entry they would stay forever).
+    """
+
+    __slots__ = ("config", "assoc", "lines", "slot_of", "n", "set_bounds")
+
+    def __init__(self, config: CacheConfig, lines: Iterable[int]):
+        self.config = config
+        self.assoc = config.associativity
+        ordered = sorted(set(lines),
+                         key=lambda line: (line % config.num_sets, line))
+        self.lines = ordered
+        self.slot_of: Dict[int, int] = {line: slot for slot, line
+                                        in enumerate(ordered)}
+        self.n = len(ordered)
+        self.set_bounds: Dict[int, Tuple[int, int]] = {}
+        for slot, line in enumerate(ordered):
+            set_index = line % config.num_sets
+            start, _ = self.set_bounds.get(set_index, (slot, slot))
+            self.set_bounds[set_index] = (start, slot + 1)
+
+
+class VectorTripleCacheState:
+    """numpy twin of :class:`repro.cache.abstract.TripleCacheState`."""
+
+    __slots__ = ("index", "mat", "universal")
+
+    def __init__(self, index: CacheLineIndex,
+                 mat: Optional[np.ndarray] = None,
+                 universal: bool = False):
+        self.index = index
+        if mat is None:
+            # Cold cache: everything absent in all three analyses.
+            mat = np.empty((3, index.n), dtype=np.int16)
+            mat[0] = index.assoc
+            mat[1] = -index.assoc
+            mat[2] = -1
+        self.mat = mat
+        self.universal = universal
+
+    def copy(self) -> "VectorTripleCacheState":
+        return VectorTripleCacheState(self.index, self.mat.copy(),
+                                      self.universal)
+
+    # -- Abstract accesses -------------------------------------------------
+
+    def access_slot(self, slot: int, start: int, end: int) -> None:
+        """Definite access to the line at ``slot`` (set slice
+        ``start:end``): Ferdinand's single-line update for all three
+        analyses at once."""
+        mat = self.mat
+        assoc = self.index.assoc
+        # Must: lines younger than the accessed line's old upper bound
+        # age by one; reaching the associativity means eviction, which
+        # the absent sentinel (== assoc) encodes for free.
+        sub = mat[0, start:end]
+        old = int(mat[0, slot])
+        np.add(sub, 1, out=sub, where=sub < old)
+        mat[0, slot] = 0
+        # May (negated ages): lines whose minimal age is at most the
+        # accessed line's shift; -assoc (absent) stays put.
+        sub = mat[1, start:end]
+        old_age = 0 if self.universal else -int(mat[1, slot])
+        np.subtract(sub, 1, out=sub,
+                    where=(sub >= -old_age) & (sub > -assoc))
+        mat[1, slot] = 0
+        # Persistence: like must but saturating, and only tracked
+        # (>= 0) lines age.
+        sub = mat[2, start:end]
+        old = int(mat[2, slot])
+        if old < 0:
+            old = assoc
+        np.add(sub, 1, out=sub, where=(sub >= 0) & (sub < old))
+        mat[2, slot] = 0
+
+    def access_slots(self, slots: np.ndarray,
+                     affected: np.ndarray) -> None:
+        """Access known only to touch one of ``slots`` (all slots of
+        the affected sets in ``affected``): the sound join of the
+        single-line updates."""
+        mat = self.mat
+        assoc = self.index.assoc
+        # Must: every line of an affected set may age (clamping at the
+        # absent sentinel keeps absent lines absent).
+        sub = mat[0, affected]
+        mat[0, affected] = np.minimum(sub + 1, assoc)
+        # May: each candidate line becomes possibly present at age 0.
+        mat[1, slots] = 0
+        # Persistence: tracked lines of affected sets age saturating;
+        # candidate lines become tracked at their current bound (0 if
+        # new — min(old, assoc) in the dict implementation).
+        sub = mat[2, affected]
+        mat[2, affected] = np.where(sub >= 0,
+                                    np.minimum(sub + 1, assoc), sub)
+        sub = mat[2, slots]
+        mat[2, slots] = np.where(sub < 0, 0, sub)
+
+    def access_fused(self, slots: np.ndarray, members: np.ndarray,
+                     owner: np.ndarray) -> None:
+        """Apply a run of definite single-line accesses to pairwise
+        *distinct* cache sets in one batch.
+
+        Accesses to different sets touch disjoint matrix columns, so
+        the sequential result equals this fused update exactly:
+        ``members`` concatenates the set slices of all accessed sets
+        and ``owner[j]`` indexes into ``slots`` for the access that
+        owns member ``j``'s set.
+        """
+        mat = self.mat
+        assoc = self.index.assoc
+        # Must: per set, lines younger than its accessed line's old
+        # upper bound age by one.
+        old = mat[0, slots]
+        sub = mat[0, members]
+        np.add(sub, 1, out=sub, where=sub < old[owner])
+        mat[0, members] = sub
+        mat[0, slots] = 0
+        # May (negated ages): per set, lines at most as old as the
+        # accessed line shift down by one.
+        sub = mat[1, members]
+        if self.universal:
+            np.subtract(sub, 1, out=sub,
+                        where=(sub >= 0) & (sub > -assoc))
+        else:
+            thr = mat[1, slots][owner]
+            np.subtract(sub, 1, out=sub,
+                        where=(sub >= thr) & (sub > -assoc))
+        mat[1, members] = sub
+        mat[1, slots] = 0
+        # Persistence: like must, saturating, tracked lines only.
+        old = mat[2, slots]
+        old = np.where(old < 0, assoc, old)
+        sub = mat[2, members]
+        np.add(sub, 1, out=sub, where=(sub >= 0) & (sub < old[owner]))
+        mat[2, members] = sub
+        mat[2, slots] = 0
+
+    def access_unknown(self) -> None:
+        """Access with a completely unknown address: any set may be
+        touched (must/persistence age everywhere), and the may cache
+        becomes universal."""
+        mat = self.mat
+        assoc = self.index.assoc
+        mat[0] = np.minimum(mat[0] + 1, assoc)
+        self.universal = True
+        mat[1] = -assoc
+        sub = mat[2]
+        mat[2] = np.where(sub >= 0, np.minimum(sub + 1, assoc), -1)
+
+    # -- Classification ----------------------------------------------------
+
+    def classify_slot(self, slot: int) -> Classification:
+        mat = self.mat
+        assoc = self.index.assoc
+        if mat[0, slot] < assoc:
+            return Classification.ALWAYS_HIT
+        if not self.universal and mat[1, slot] == -assoc:
+            return Classification.ALWAYS_MISS
+        if mat[2, slot] < assoc:
+            return Classification.PERSISTENT
+        return Classification.NOT_CLASSIFIED
+
+    def classify_slots(self, slots: np.ndarray) -> Classification:
+        mat = self.mat
+        assoc = self.index.assoc
+        if bool((mat[0, slots] < assoc).all()):
+            return Classification.ALWAYS_HIT
+        if not self.universal and bool((mat[1, slots] == -assoc).all()):
+            return Classification.ALWAYS_MISS
+        if bool((mat[2, slots] < assoc).all()):
+            return Classification.PERSISTENT
+        return Classification.NOT_CLASSIFIED
+
+    # -- Lattice -----------------------------------------------------------
+
+    def join(self, other: "VectorTripleCacheState"
+             ) -> "VectorTripleCacheState":
+        mat = np.maximum(self.mat, other.mat)
+        universal = self.universal or other.universal
+        if universal:
+            # The dict join of a universal may cache drops all ages.
+            mat[1] = -self.index.assoc
+        return VectorTripleCacheState(self.index, mat, universal)
+
+    def leq(self, other: "VectorTripleCacheState") -> bool:
+        if other.universal:
+            return bool((self.mat[0] <= other.mat[0]).all()
+                        and (self.mat[2] <= other.mat[2]).all())
+        if self.universal:
+            return False
+        return bool((self.mat <= other.mat).all())
+
+    def __repr__(self) -> str:
+        assoc = self.index.assoc
+        return (f"VectorTripleCacheState("
+                f"must={int((self.mat[0] < assoc).sum())}, "
+                f"may={'⊤' if self.universal else int((self.mat[1] > -assoc).sum())}, "
+                f"pers={int((self.mat[2] >= 0).sum())})")
+
+
+# -- Compiled access specs -------------------------------------------------
+
+
+def compile_access(index: CacheLineIndex,
+                   lines: Optional[Tuple[int, ...]]) -> tuple:
+    """Precompile one :class:`~repro.cache.analysis.AccessSpec` into
+    slot/slice arrays so the fixpoint's transfer does no per-access
+    line-to-slot mapping."""
+    if lines is None:
+        return (_UNKNOWN,)
+    if len(lines) == 1:
+        line = lines[0]
+        start, end = index.set_bounds[line % index.config.num_sets]
+        return (_SINGLE, index.slot_of[line], start, end)
+    unique = sorted(set(lines))
+    slots = np.array([index.slot_of[line] for line in unique],
+                     dtype=np.intp)
+    sets = sorted({line % index.config.num_sets for line in unique})
+    affected = np.concatenate(
+        [np.arange(*index.set_bounds[s], dtype=np.intp) for s in sets])
+    return (_MANY, slots, affected)
+
+
+def compile_block_accesses(index: CacheLineIndex,
+                           compiled: List[tuple]) -> List[tuple]:
+    """Fuse a block's compiled access sequence for the fixpoint
+    transfer (classification still replays the per-access list).
+
+    Two exact rewrites shrink the op count:
+
+    * an immediately repeated single-line access is a no-op on all
+      three lattices (the line is at age 0 and nothing else in its set
+      can be, so no aging condition fires) — drop it;
+    * consecutive single-line accesses to pairwise distinct sets touch
+      disjoint columns, so a maximal such run collapses into one
+      :meth:`~VectorTripleCacheState.access_fused` batch.
+
+    Instruction fetch is the ideal case: a block's fetch lines are
+    non-decreasing, so repeats are always adjacent and distinct lines
+    land in distinct sets unless the block spans a full cache round.
+    """
+    ops: List[tuple] = []
+    run: List[tuple] = []           # pending _SINGLE accesses
+    run_sets: set = set()           # their (start, end) set slices
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            ops.append(run[0])
+        else:
+            slots = np.array([c[1] for c in run], dtype=np.intp)
+            members = np.concatenate(
+                [np.arange(c[2], c[3], dtype=np.intp) for c in run])
+            owner = np.concatenate(
+                [np.full(c[3] - c[2], i, dtype=np.intp)
+                 for i, c in enumerate(run)])
+            ops.append((_FUSED, slots, members, owner))
+        run.clear()
+        run_sets.clear()
+
+    for c in compiled:
+        if c[0] != _SINGLE:
+            flush()
+            ops.append(c)
+            continue
+        if run and c[1] == run[-1][1]:
+            continue                # repeated access: exact no-op
+        span = (c[2], c[3])
+        if span in run_sets:
+            flush()
+        run.append(c)
+        run_sets.add(span)
+    flush()
+    return ops
+
+
+def apply_access(state: VectorTripleCacheState, compiled: tuple) -> None:
+    kind = compiled[0]
+    if kind == _UNKNOWN:
+        state.access_unknown()
+    elif kind == _SINGLE:
+        state.access_slot(compiled[1], compiled[2], compiled[3])
+    elif kind == _MANY:
+        state.access_slots(compiled[1], compiled[2])
+    else:
+        state.access_fused(compiled[1], compiled[2], compiled[3])
+
+
+def classify_access(state: VectorTripleCacheState,
+                    compiled: tuple) -> Classification:
+    kind = compiled[0]
+    if kind == _UNKNOWN:
+        return Classification.NOT_CLASSIFIED
+    if kind == _SINGLE:
+        return state.classify_slot(compiled[1])
+    return state.classify_slots(compiled[1])

@@ -36,13 +36,33 @@ from .graph import BasicBlock, EdgeKind
 
 @dataclass(frozen=True)
 class NodeId:
-    """Identity of a task-graph node: a basic block in a call context."""
+    """Identity of a task-graph node: a basic block in a call context.
+
+    Every fixpoint phase keys its worklists and state maps by NodeId,
+    so ``__hash__``/``__eq__`` are on the hot path of all of them: the
+    hash is computed once and cached (contexts hash nested tuples), and
+    equality checks the cheap block number before the call context.
+    """
 
     context: Context
     block: int
 
     def __repr__(self) -> str:
         return f"<{self.context.label}:0x{self.block:x}>"
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.context, self.block))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not NodeId:
+            return NotImplemented
+        return self.block == other.block and self.context == other.context
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple, TypeVar
 
-from .dominators import compute_dominators, dominates
+from .dominators import compute_dominators, dominance_numbering
 
 Node = TypeVar("Node", bound=Hashable)
 
@@ -103,15 +103,20 @@ def find_loops(entry: Node, succs: Dict[Node, List[Node]]) -> LoopForest:
             if succ in preds:
                 preds[succ].append(node)
 
+    # One dominance query per edge: use O(1) Euler-tour labels instead
+    # of walking the idom chain for each.
+    tin, tout = dominance_numbering(idom)
     loops_by_header: Dict[Node, Loop] = {}
     for node in idom:
+        node_tin = tin[node]
         for succ in succs.get(node, []):
-            if succ in idom and dominates(idom, succ, node):
+            succ_tin = tin.get(succ)
+            if succ_tin is not None and succ_tin <= node_tin < tout[succ]:
                 loop = loops_by_header.setdefault(succ, Loop(header=succ))
                 loop.back_edges.append((node, succ))
                 loop.body.update(_loop_body(node, succ, preds))
 
-    _check_reducible(entry, succs, idom, loops_by_header)
+    _check_reducible(entry, succs, idom, tin, tout)
 
     loops = list(loops_by_header.values())
     _build_nesting(loops)
@@ -140,13 +145,17 @@ def _loop_body(tail: Node, header: Node,
 
 def _check_reducible(entry: Node, succs: Dict[Node, List[Node]],
                      idom: Dict[Node, Node],
-                     loops_by_header: Dict[Node, Loop]) -> None:
+                     tin: Dict[Node, int],
+                     tout: Dict[Node, int]) -> None:
     # A graph is reducible iff removing all back edges (w.r.t. dominance)
     # leaves an acyclic graph.
     forward: Dict[Node, List[Node]] = {node: [] for node in idom}
     for node in idom:
+        node_tin = tin[node]
         for succ in succs.get(node, []):
-            if succ in idom and not dominates(idom, succ, node):
+            succ_tin = tin.get(succ)
+            if succ_tin is not None \
+                    and not (succ_tin <= node_tin < tout[succ]):
                 forward[node].append(succ)
     state: Dict[Node, int] = {}
 

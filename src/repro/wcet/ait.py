@@ -21,11 +21,13 @@ so both pipeline timing models reuse them.
 
 from __future__ import annotations
 
+import cProfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Type
 
 from ..analysis.domain import AbstractValue
+from ..domainimpl import resolve_domain_impl
 from ..analysis.fixpoint import FixpointStats
 from ..analysis.interval import Interval
 from ..analysis.loopbounds import LoopBound, analyze_loop_bounds
@@ -66,6 +68,12 @@ class WCETResult:
     #: Artifact-cache provenance: phase name -> "hit" | "miss".  Empty
     #: when the analysis ran without a phase cache.
     cache_events: Dict[str, str] = field(default_factory=dict)
+    #: The abstract-domain implementation the analysis ran under
+    #: (:mod:`repro.domainimpl`); bounds are identical either way.
+    domain_impl: Optional[str] = None
+    #: Per-phase ``cProfile.Profile`` objects when the analysis ran
+    #: with ``profile=True`` (``repro wcet --profile``).
+    profiles: Dict[str, object] = field(default_factory=dict)
 
     @property
     def wcet_cycles(self) -> int:
@@ -198,23 +206,31 @@ def phase_value(runner: PhaseRunner, graph: TaskGraph,
                 domain: Type[AbstractValue],
                 register_ranges: Optional[Dict[int, Tuple[int, int]]],
                 narrowing_passes: int, use_widening_thresholds: bool,
-                memory_ranges: Optional[Dict[int, Tuple[int, int]]]
-                ) -> ValueAnalysisResult:
+                memory_ranges: Optional[Dict[int, Tuple[int, int]]],
+                impl: Optional[str] = None) -> ValueAnalysisResult:
     """Phase 2: interval/strided value analysis over the task graph."""
+    # Non-interval domains always run the python implementation; key the
+    # artifact by the implementation that actually executes so cached
+    # states (which embed their memory representation) never mix.
+    effective_impl = resolve_domain_impl(impl)
+    if domain is not Interval:
+        effective_impl = "python"
+
     def material():
         return (f"value|{runner.key_of('cfg')}"
                 f"|domain={domain.__module__}.{domain.__qualname__}"
                 f"|regs={_mapping_material(register_ranges)}"
                 f"|narrow={narrowing_passes}"
                 f"|wthresh={use_widening_thresholds}"
-                f"|mem={_mapping_material(memory_ranges)}")
+                f"|mem={_mapping_material(memory_ranges)}"
+                f"|impl={effective_impl}")
 
     def compute():
         return analyze_values(
             graph, domain=domain, register_ranges=register_ranges,
             narrowing_passes=narrowing_passes,
             use_widening_thresholds=use_widening_thresholds,
-            memory_ranges=memory_ranges)
+            memory_ranges=memory_ranges, domain_impl=effective_impl)
 
     return runner.run("value", material, compute)
 
@@ -233,28 +249,38 @@ def phase_loopbounds(runner: PhaseRunner, values: ValueAnalysisResult,
 
 
 def phase_icache(runner: PhaseRunner, graph: TaskGraph,
-                 config: CacheConfig) -> ICacheResult:
+                 config: CacheConfig,
+                 impl: Optional[str] = None) -> ICacheResult:
     """Phase 4a: instruction-cache must/may/persistence analysis."""
+    effective_impl = resolve_domain_impl(impl)
+
     def material():
         return (f"icache|{runner.key_of('cfg')}"
-                f"|{_cache_config_material(config)}")
+                f"|{_cache_config_material(config)}"
+                f"|impl={effective_impl}")
 
-    return runner.run("icache", material,
-                      lambda: analyze_icache(graph, config))
+    return runner.run(
+        "icache", material,
+        lambda: analyze_icache(graph, config, impl=effective_impl))
 
 
 def phase_dcache(runner: PhaseRunner, graph: TaskGraph,
                  config: CacheConfig, values: ValueAnalysisResult,
-                 use_value_analysis: bool) -> DCacheResult:
+                 use_value_analysis: bool,
+                 impl: Optional[str] = None) -> DCacheResult:
     """Phase 4b: data-cache analysis fed by the value analysis."""
+    effective_impl = resolve_domain_impl(impl)
+
     def material():
         return (f"dcache|{runner.key_of('cfg')}|{runner.key_of('value')}"
                 f"|{_cache_config_material(config)}"
-                f"|usevalue={use_value_analysis}")
+                f"|usevalue={use_value_analysis}"
+                f"|impl={effective_impl}")
 
     return runner.run(
         "dcache", material,
-        lambda: analyze_dcache(graph, config, values, use_value_analysis))
+        lambda: analyze_dcache(graph, config, values, use_value_analysis,
+                               impl=effective_impl))
 
 
 def phase_pipeline(runner: PhaseRunner, graph: TaskGraph,
@@ -294,7 +320,8 @@ def phase_path(runner: PhaseRunner, graph: TaskGraph,
 def analyze_loop_annotations(program: Program,
                              memory_ranges: Optional[
                                  Dict[int, Tuple[int, int]]] = None,
-                             phase_cache=None
+                             phase_cache=None,
+                             domain_impl: Optional[str] = None
                              ) -> Dict[NodeId, LoopBound]:
     """The *discover* half of aiT's annotate workflow: run the
     default-parameter cfg/value/loopbounds prefix of the pipeline and
@@ -305,7 +332,7 @@ def analyze_loop_annotations(program: Program,
     runner = PhaseRunner(phase_cache)
     _, graph = phase_cfg(runner, program, None, None, DEFAULT_POLICY)
     values = phase_value(runner, graph, Interval, None, 2, True,
-                         memory_ranges)
+                         memory_ranges, impl=domain_impl)
     return phase_loopbounds(runner, values, None)
 
 
@@ -325,7 +352,9 @@ def analyze_wcet(program: Program,
                  context_policy: Optional[ContextPolicy] = None,
                  pipeline_model: Optional[str] = None,
                  memory_ranges: Optional[Dict[int, Tuple[int, int]]] = None,
-                 phase_cache=None
+                 phase_cache=None,
+                 domain_impl: Optional[str] = None,
+                 profile: bool = False
                  ) -> WCETResult:
     """Run the complete aiT pipeline on ``program``.
 
@@ -355,20 +384,35 @@ def analyze_wcet(program: Program,
     :attr:`WCETResult.cache_events` records the per-phase hit/miss
     provenance.  Cached and uncached analyses produce bit-identical
     results.
+
+    ``domain_impl`` selects the abstract-domain implementation
+    (``python``/``numpy``) for the value and cache phases; the explicit
+    argument wins over ``config.domain_impl``, which wins over
+    ``$REPRO_DOMAIN_IMPL``.  ``profile=True`` wraps each phase in a
+    ``cProfile`` run, collected in :attr:`WCETResult.profiles`.
     """
     config = config or MachineConfig.default()
     if pipeline_model is not None:
         config = config.with_model(pipeline_model)
     policy = context_policy or DEFAULT_POLICY
+    impl = resolve_domain_impl(
+        domain_impl if domain_impl is not None else config.domain_impl)
     phases: Dict[str, float] = {}
+    profiles: Dict[str, object] = {}
 
     def timed(name):
         class _Timer:
             def __enter__(self):
+                if profile:
+                    self.profiler = cProfile.Profile()
+                    self.profiler.enable()
                 self.start = time.perf_counter()
 
             def __exit__(self, *exc):
                 phases[name] = time.perf_counter() - self.start
+                if profile:
+                    self.profiler.disable()
+                    profiles[name] = self.profiler
         return _Timer()
 
     runner = PhaseRunner(phase_cache)
@@ -378,14 +422,14 @@ def analyze_wcet(program: Program,
     with timed("value"):
         values = phase_value(runner, graph, domain, register_ranges,
                              narrowing_passes, use_widening_thresholds,
-                             memory_ranges)
+                             memory_ranges, impl=impl)
     with timed("loopbounds"):
         loop_bounds = phase_loopbounds(runner, values, manual_loop_bounds)
     with timed("icache"):
-        icache = phase_icache(runner, graph, config.icache)
+        icache = phase_icache(runner, graph, config.icache, impl=impl)
     with timed("dcache"):
         dcache = phase_dcache(runner, graph, config.dcache, values,
-                              use_value_analysis_for_dcache)
+                              use_value_analysis_for_dcache, impl=impl)
     with timed("pipeline"):
         timing = phase_pipeline(runner, graph, config, icache, dcache)
     with timed("path"):
@@ -407,4 +451,5 @@ def analyze_wcet(program: Program,
                       loop_bounds, icache, dcache, timing, path, phases,
                       solver_stats=solver_stats,
                       context_policy=graph.policy,
-                      cache_events=dict(runner.events))
+                      cache_events=dict(runner.events),
+                      domain_impl=impl, profiles=profiles)

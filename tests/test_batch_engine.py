@@ -100,6 +100,53 @@ def test_corrupt_object_is_a_miss(tmp_path):
     assert fresh.lookup(key) == (False, None)
 
 
+def test_cache_limit_evicts_oldest_objects_first(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s", limit_bytes=4096)
+    payload = b"x" * 1500
+    keys = [cache.key(f"artifact-{i}") for i in range(4)]
+    for age, key in enumerate(keys):
+        cache.store(key, payload)
+        # Make the write order unambiguous to the mtime-based policy
+        # even on coarse filesystem clocks.
+        stamp = 1_000_000 + age
+        os.utime(cache._object_path(key), (stamp, stamp))
+    cache.store(cache.key("one-more"), payload)
+    assert cache.evictions >= 2
+    on_disk = [key for key in keys
+               if os.path.exists(cache._object_path(key))]
+    # The survivors are a suffix of the write order: oldest went first.
+    assert on_disk == keys[len(keys) - len(on_disk):]
+    assert on_disk != keys
+    # Evicted artifacts stay memoised in this process but a fresh
+    # process sees a miss and recomputes.
+    assert cache.lookup(keys[0]) == (True, payload)
+    fresh = ArtifactCache(str(tmp_path), salt="s", limit_bytes=4096)
+    assert fresh.lookup(keys[0]) == (False, None)
+
+
+def test_cache_without_limit_never_evicts(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s")
+    for i in range(6):
+        cache.store(cache.key(f"artifact-{i}"), b"y" * 2000)
+    assert cache.evictions == 0
+    assert all(os.path.exists(cache._object_path(cache.key(f"artifact-{i}")))
+               for i in range(6))
+
+
+def test_sweep_cache_limit_mb_bounds_the_store(tmp_path):
+    limit_mb = 0.003
+    result = sweep_suite("fibcall:full:krisc5", cache_dir=str(tmp_path),
+                         cache_limit_mb=limit_mb)
+    assert not result.errors
+    total = sum(os.path.getsize(os.path.join(dirpath, name))
+                for dirpath, _, names in os.walk(tmp_path / "objects")
+                for name in names if name.endswith(".pkl"))
+    assert total <= limit_mb * 1024 * 1024
+    # The bound itself is unaffected by eviction.
+    unlimited = sweep_suite("fibcall:full:krisc5", use_cache=False)
+    assert result.bounds() == unlimited.bounds()
+
+
 def test_code_version_salt_is_stable_and_hex():
     salt = code_version_salt()
     assert salt == code_version_salt()
