@@ -151,6 +151,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"({args.jobs} worker{'s' if args.jobs != 1 else ''}); "
           f"phase cache: {result.cache_hits} hits / "
           f"{result.cache_misses} misses ({ratio:.0%})")
+    scheduler = result.scheduler
+    if scheduler:
+        busy = scheduler["worker_busy_fraction"]
+        busy_text = ", ".join(f"{fraction:.0%}"
+                              for fraction in busy.values()) or "-"
+        print(f"scheduler: {scheduler['phase_refs']} phase refs -> "
+              f"{scheduler['unique_tasks']} tasks "
+              f"({scheduler['deduped_tasks']} deduped); "
+              f"{scheduler['computed_tasks']} computed / "
+              f"{scheduler['cache_served_tasks']} cache-served; "
+              f"{scheduler['steals']} steals; "
+              f"worker busy: {busy_text}")
     if args.jsonl:
         print(f"results written to {args.jsonl}")
 
@@ -180,6 +192,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
             and ratio < args.require_hit_ratio:
         failures.append(f"cache hit ratio {ratio:.2%} below required "
                         f"{args.require_hit_ratio:.2%}")
+    if args.min_dedup is not None:
+        deduped = scheduler["deduped_tasks"] if scheduler else 0
+        if deduped < args.min_dedup:
+            failures.append(f"scheduler deduplicated {deduped} phase "
+                            f"tasks, below required {args.min_dedup} "
+                            f"(cross-job sharing not exercised)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -284,9 +302,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "is at least R (CI warm-cache guard)")
     p_batch.add_argument("--cache-limit-mb", type=float, default=None,
                         metavar="MB",
-                        help="evict oldest artifact-cache entries "
-                             "(by mtime) once the on-disk cache "
-                             "exceeds this size; requires --cache-dir")
+                        help="evict least-recently-used artifact-cache "
+                             "entries once the on-disk cache exceeds "
+                             "this size; requires --cache-dir")
+    p_batch.add_argument("--min-dedup", type=int, default=None,
+                        metavar="N",
+                        help="fail unless the DAG scheduler "
+                             "deduplicated at least N phase tasks "
+                             "(CI cross-job sharing guard; needs "
+                             "--jobs > 1 and caching enabled)")
     p_batch.set_defaults(func=cmd_batch)
 
     args = parser.parse_args(argv)

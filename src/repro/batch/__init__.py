@@ -2,22 +2,28 @@
 
 The production layer over :func:`repro.wcet.ait.analyze_wcet`: expand
 an analysis matrix (workloads x context policies x pipeline models)
-into jobs, shard them over a process pool, and never recompute a phase
-artifact whose inputs haven't changed.  CI, the perf harness, the
-workload suite, and the ``repro batch`` CLI all drive this one engine.
+into jobs, schedule them as a deduplicated DAG of phase tasks on a
+worker pool, and never recompute a phase artifact whose inputs haven't
+changed.  CI, the perf harness, the workload suite, and the
+``repro batch`` CLI all drive this one engine.
 """
 
 from .cachestore import ArtifactCache, code_version_salt
+from .dag import (DAGCycleError, JobPlan, SweepDAG, TaskDAG, TaskNode,
+                  build_sweep_dag)
 from .engine import (SweepResult, clear_process_caches, run_job,
                      run_sweep)
 from .golden import (compare_rows, flatten_golden, golden_from_rows,
                      load_golden, merge_golden, save_golden)
 from .jobs import ALL_POLICIES, JobSpec, expand_matrix, parse_policy
+from .scheduler import SchedulerStats, run_dag
 
 __all__ = [
-    "ALL_POLICIES", "ArtifactCache", "JobSpec", "SweepResult",
-    "clear_process_caches", "code_version_salt", "compare_rows",
-    "expand_matrix", "flatten_golden", "golden_from_rows",
-    "load_golden", "merge_golden", "parse_policy", "run_job",
-    "run_sweep", "save_golden",
+    "ALL_POLICIES", "ArtifactCache", "DAGCycleError", "JobPlan",
+    "JobSpec", "SchedulerStats", "SweepDAG", "SweepResult", "TaskDAG",
+    "TaskNode", "build_sweep_dag", "clear_process_caches",
+    "code_version_salt", "compare_rows", "expand_matrix",
+    "flatten_golden", "golden_from_rows", "load_golden",
+    "merge_golden", "parse_policy", "run_dag", "run_job", "run_sweep",
+    "save_golden",
 ]

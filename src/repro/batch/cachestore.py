@@ -96,14 +96,24 @@ class ArtifactCache:
             self.hits += 1
             return True, self._memory[key]
         if self.root is not None:
+            path = self._object_path(key)
             try:
-                with open(self._object_path(key), "rb") as handle:
+                with open(path, "rb") as handle:
                     value = pickle.load(handle)
             except Exception:
                 # Missing, truncated, or stale (e.g. written by an
-                # incompatible pickle) object: recompute.
+                # incompatible pickle) object: recompute.  A file a
+                # concurrent worker's eviction deleted mid-read lands
+                # here too — the phase is simply recomputed.
                 pass
             else:
+                try:
+                    # Freshen the mtime so a bounded store evicts
+                    # least-recently-*used* objects, not merely the
+                    # least recently written.
+                    os.utime(path)
+                except OSError:
+                    pass
                 self.hits += 1
                 self._memory[key] = value
                 return True, value
@@ -140,16 +150,21 @@ class ArtifactCache:
             pass
         else:
             if self.limit_bytes is not None:
-                self._evict_if_needed()
+                self._evict_if_needed(protect=self._object_path(key))
 
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed(self, protect: Optional[str] = None) -> None:
         """Drop oldest on-disk objects (by mtime) until the store fits
         ``limit_bytes`` again.
 
         Eviction only unlinks files — in-memory memoisation keeps this
         process's working set, and an evicted artifact is simply
-        recomputed on its next cold lookup.  Races with concurrent
-        workers (a file disappearing mid-scan) degrade to no-ops.
+        recomputed on its next cold lookup (readers treat a vanished
+        object as a miss, so racing a concurrent worker's read is
+        safe).  ``protect`` exempts the object this store() call just
+        wrote: evicting it would invalidate the scheduler's knowledge
+        that the artifact is addressable before anyone could read it.
+        Races with concurrent workers (a file disappearing mid-scan)
+        degrade to no-ops.
         """
         objects_root = os.path.join(self.root, "objects")
         entries = []
@@ -169,6 +184,8 @@ class ArtifactCache:
             return
         entries.sort()
         for _, size, path in entries:
+            if protect is not None and path == protect:
+                continue
             try:
                 os.unlink(path)
             except OSError:

@@ -1,10 +1,11 @@
 """Parallel sweep engine over the WCET analysis matrix.
 
 :func:`run_sweep` executes a list of :class:`~repro.batch.jobs.JobSpec`
-points — sequentially or on a process pool — and returns their results
-in *job order* regardless of completion order, so sweep output is
-deterministic under any ``--jobs`` setting.  Each job runs the full
-aiT pipeline through the phase-level artifact cache
+points — sequentially, or as a deduplicated phase-task DAG on a worker
+pool (:mod:`repro.batch.dag` + :mod:`repro.batch.scheduler`) — and
+returns their results in *job order* regardless of completion order,
+so sweep output is deterministic under any ``--jobs`` setting.  Each
+job runs the full aiT pipeline through the phase-level artifact cache
 (:mod:`repro.batch.cachestore`), and its result row records the bound,
 per-phase wall clock, solver work counters, cache classification
 counts, and the cache hit/miss provenance of every phase.
@@ -16,16 +17,17 @@ them as JSON lines, one job per line, in job order.
 from __future__ import annotations
 
 import json
-import multiprocessing
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..isa.program import Program
 from ..wcet.ait import WCETResult
 from ..workloads.suite import analyze_workload, get_workload
+from . import scheduler as dag_scheduler
 from .cachestore import ArtifactCache
+from .dag import build_sweep_dag
 from .jobs import JobSpec
 
 #: Per-process memo of compiled workload binaries: a sweep analyses the
@@ -49,6 +51,7 @@ def clear_process_caches() -> None:
     """
     _PROGRAM_MEMO.clear()
     _CACHE_MEMO.clear()
+    dag_scheduler.clear_worker_caches()
 
 
 def _process_cache(cache_dir: Optional[str], salt: Optional[str],
@@ -124,61 +127,6 @@ def _error_row(spec: JobSpec, exc: Exception) -> dict:
             "error": f"{type(exc).__name__}: {exc}"}
 
 
-def _pool_group(payload: Tuple[List[int], List[JobSpec], Optional[str],
-                               Optional[str], bool, Optional[int]]
-                ) -> List[Tuple[int, dict]]:
-    """Pool task: run one workload's jobs back to back.
-
-    Sharding whole workload groups (rather than single jobs) keeps a
-    workload's compiled binary, annotation-discovery prefix, and
-    per-policy artifacts inside one worker's memo, so parallel cold
-    runs do roughly the sequential run's total work divided by the
-    worker count instead of recomputing shared artifacts on every
-    worker.
-    """
-    indices, specs, cache_dir, salt, use_cache, limit_bytes = payload
-    cache = _process_cache(cache_dir, salt, use_cache, limit_bytes)
-    results = []
-    for index, spec in zip(indices, specs):
-        try:
-            results.append((index, run_job(spec, cache)))
-        except Exception as exc:
-            results.append((index, _error_row(spec, exc)))
-    return results
-
-
-def _group_jobs(jobs: List[JobSpec], parallel: int
-                ) -> List[Tuple[List[int], List[JobSpec]]]:
-    """Shard jobs into pool tasks, preferring whole workload groups.
-
-    Falls back to (workload, policy) groups when there are fewer
-    workloads than workers — keeping the cross-model artifact sharing,
-    which is the bulk of the win — so a single-workload matrix still
-    parallelises instead of serialising in one worker.
-    """
-    def build(key):
-        groups: Dict[object, Tuple[List[int], List[JobSpec]]] = {}
-        for index, spec in enumerate(jobs):
-            indices, specs = groups.setdefault(key(spec), ([], []))
-            indices.append(index)
-            specs.append(spec)
-        return list(groups.values())
-
-    groups = build(lambda spec: spec.workload)
-    if len(groups) < parallel:
-        groups = build(lambda spec: (spec.workload, spec.policy))
-    return groups
-
-
-def _pool_context():
-    # Fork workers inherit the imported analysis modules, avoiding a
-    # per-worker re-import; unavailable on some platforms.
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return None
-
-
 @dataclass
 class SweepResult:
     """Outcome of one sweep: rows in job order plus aggregate stats."""
@@ -190,6 +138,9 @@ class SweepResult:
     cache_dir: Optional[str] = None
     used_cache: bool = True
     errors: List[str] = field(default_factory=list)
+    #: DAG scheduler statistics (parallel sweeps only):
+    #: :meth:`repro.batch.scheduler.SchedulerStats.as_dict`.
+    scheduler: Optional[dict] = None
 
     @property
     def cache_hits(self) -> int:
@@ -226,20 +177,26 @@ def run_sweep(jobs: List[JobSpec],
               cache_limit_mb: Optional[float] = None) -> SweepResult:
     """Run every job of the sweep and collect rows in job order.
 
-    ``parallel`` > 1 shards jobs over a process pool; with a shared
-    ``cache_dir`` the workers then also share artifacts through the
-    content-addressed store (atomic writes make that race-free).
-    ``use_cache=False`` disables caching entirely; ``cache_dir=None``
-    with caching enabled still shares artifacts in memory within each
-    process.  ``salt`` overrides the code-version salt (tests only).
+    ``parallel`` > 1 schedules the sweep as a deduplicated phase-task
+    DAG (:func:`repro.batch.dag.build_sweep_dag`) on a persistent
+    worker pool: one task per distinct phase cache key across all
+    jobs, handed out as dependencies complete.  Workers exchange
+    artifacts through the shared content-addressed store — a given
+    ``cache_dir``, or a temporary spill directory when none is given
+    (so an anonymous parallel sweep still starts cold, like the
+    sequential in-memory cache).  With ``use_cache=False`` there are
+    no addressable artifacts to share, so each job becomes one pool
+    task.  ``salt`` overrides the code-version salt (tests only).
     ``cache_limit_mb`` bounds the on-disk store: after each write the
-    oldest objects (by mtime) are evicted until the store fits.
+    least-recently-used objects are evicted until the store fits;
+    workers treat objects evicted under them as misses and recompute.
     """
     start = time.perf_counter()
     limit_bytes = int(cache_limit_mb * 1024 * 1024) \
         if cache_limit_mb is not None else None
-    rows: List[Optional[dict]] = [None] * len(jobs)
+    scheduler_stats = None
     if parallel <= 1:
+        rows: List[Optional[dict]] = [None] * len(jobs)
         cache = _process_cache(cache_dir, salt, use_cache, limit_bytes) \
             if cache_dir is not None else \
             (ArtifactCache(None, salt=salt) if use_cache else None)
@@ -249,23 +206,28 @@ def run_sweep(jobs: List[JobSpec],
             except Exception as exc:
                 rows[index] = _error_row(spec, exc)
     else:
-        payloads = [(indices, specs, cache_dir, salt, use_cache,
-                     limit_bytes)
-                    for indices, specs in _group_jobs(jobs, parallel)]
-        with ProcessPoolExecutor(max_workers=parallel,
-                                 mp_context=_pool_context()) as pool:
-            futures = [pool.submit(_pool_group, payload)
-                       for payload in payloads]
-            for future in as_completed(futures):
-                for index, row in future.result():
-                    rows[index] = row
+        sweep_dag = build_sweep_dag(jobs, use_cache=use_cache)
+        spill = None
+        store_dir = cache_dir
+        if use_cache and store_dir is None:
+            spill = tempfile.TemporaryDirectory(prefix="repro-dag-")
+            store_dir = spill.name
+        try:
+            rows, stats = dag_scheduler.run_dag(
+                sweep_dag, parallel=parallel, cache_dir=store_dir,
+                salt=salt, limit_bytes=limit_bytes)
+        finally:
+            if spill is not None:
+                spill.cleanup()
+        scheduler_stats = stats.as_dict()
 
     errors = [f"{row['workload']}/{row['policy']}/{row['model']}: "
               f"{row['error']}" for row in rows if "error" in row]
     result = SweepResult(jobs=list(jobs), rows=rows,
                          wall_seconds=time.perf_counter() - start,
                          parallel=parallel, cache_dir=cache_dir,
-                         used_cache=use_cache, errors=errors)
+                         used_cache=use_cache, errors=errors,
+                         scheduler=scheduler_stats)
     if jsonl_path:
         result.write_jsonl(jsonl_path)
     return result

@@ -1,0 +1,381 @@
+"""Worker-pool executor for the sweep phase-task DAG.
+
+:func:`run_dag` drains a :class:`~repro.batch.dag.SweepDAG` on a
+persistent :class:`~concurrent.futures.ProcessPoolExecutor`: every
+worker serves tasks from one shared ready queue (work stealing falls
+out — an idle worker takes whatever became ready, whether or not it
+computed the upstream artifacts), tasks are handed out the moment
+their dependencies complete, and there are no per-group barriers.
+Artifacts travel between workers through the shared content-addressed
+store (:mod:`repro.batch.cachestore`); a vanished object — e.g. an
+eviction by a concurrent worker under ``--cache-limit-mb`` — is
+treated as a miss and recomputed transitively, never raised.
+
+Failure handling: a task that raises fails its transitive dependents
+and turns the affected jobs into error rows; a dead worker
+(``BrokenProcessPool``) aborts the remaining schedule the same way
+instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..domainimpl import resolve_domain_impl
+from ..isa.program import Program
+from ..wcet.ait import PHASES, build_wcet_result
+from ..workloads.suite import get_workload
+from .cachestore import ArtifactCache
+from .dag import JobPlan, SweepDAG, TaskNode
+from .jobs import JobSpec
+
+# -- Worker-side state -----------------------------------------------------------
+#
+# Module-level memos live in each pool worker (fork workers inherit the
+# parent's — empty at sweep start — copies): compiled binaries and
+# executable job plans are reused across all tasks a worker serves.
+
+_PROGRAM_MEMO: Dict[str, Program] = {}
+_PLAN_MEMO: Dict[Tuple[str, str, str, Optional[str]], JobPlan] = {}
+_CACHE_MEMO: Dict[Tuple[Optional[str], Optional[str], Optional[int]],
+                  ArtifactCache] = {}
+
+
+def clear_worker_caches() -> None:
+    """Drop this process's plan/program/cache memos (benchmark cold
+    runs; see :func:`repro.batch.engine.clear_process_caches`)."""
+    _PROGRAM_MEMO.clear()
+    _PLAN_MEMO.clear()
+    _CACHE_MEMO.clear()
+
+
+def _worker_cache(cache_dir: Optional[str], salt: Optional[str],
+                  limit_bytes: Optional[int]) -> ArtifactCache:
+    memo_key = (cache_dir, salt, limit_bytes)
+    cache = _CACHE_MEMO.get(memo_key)
+    if cache is None:
+        cache = ArtifactCache(cache_dir, salt=salt,
+                              limit_bytes=limit_bytes)
+        _CACHE_MEMO[memo_key] = cache
+    return cache
+
+
+def _plan_for(spec: JobSpec, domain_impl: Optional[str]) -> JobPlan:
+    memo_key = (spec.workload, spec.policy, spec.model, domain_impl)
+    plan = _PLAN_MEMO.get(memo_key)
+    if plan is None:
+        program = _PROGRAM_MEMO.get(spec.workload)
+        if program is None:
+            program = get_workload(spec.workload).compile()
+            _PROGRAM_MEMO[spec.workload] = program
+        plan = JobPlan(spec, program, domain_impl)
+        _PLAN_MEMO[memo_key] = plan
+    return plan
+
+
+class _TaskContext:
+    """Key and artifact resolution for one task execution.
+
+    Keys are derived from dependency keys exactly as the sequential
+    :class:`~repro.wcet.ait.PhaseRunner` chains them.  Artifact
+    resolution is *self-healing*: a dependency artifact that should be
+    in the store but is not (evicted under ``--cache-limit-mb``, or a
+    corrupt object) is recomputed transitively instead of raising —
+    the eviction race degrades to redundant work, never to a failure.
+    """
+
+    def __init__(self, plan: JobPlan, cache: ArtifactCache):
+        self.plan = plan
+        self.cache = cache
+        self._keys: Dict[str, str] = {}
+
+    def key_of(self, template: str) -> str:
+        key = self._keys.get(template)
+        if key is None:
+            spec = self.plan.templates[template]
+            dep_keys = {dep: self.key_of(dep) for dep in spec.deps}
+            key = self.cache.key(spec.material(dep_keys, self.value_of))
+            self._keys[template] = key
+        return key
+
+    def ensure(self, template: str) -> bool:
+        """Make the template's artifact addressable in the store;
+        return whether this call computed it."""
+        key = self.key_of(template)
+        hit, _ = self.cache.lookup(key)
+        if hit:
+            return False
+        self._compute(template, key)
+        return True
+
+    def value_of(self, template: str) -> Any:
+        key = self.key_of(template)
+        hit, value = self.cache.lookup(key)
+        if hit:
+            return value
+        return self._compute(template, key)
+
+    def _compute(self, template: str, key: str) -> Any:
+        spec = self.plan.templates[template]
+        deps = {dep: self.value_of(dep) for dep in spec.deps}
+        value = spec.compute(deps)
+        self.cache.store(key, value)
+        return value
+
+
+def _transportable(task):
+    """Run ``task`` but hand exceptions back as plain error payloads.
+
+    Raising across the result pipe is not safe: an exception whose
+    class does not survive a pickle round-trip (e.g. a two-argument
+    ``__init__`` without a custom ``__reduce__``) blows up in the
+    parent's result thread, which declares the whole *pool* broken —
+    one bad workload would take every in-flight job down with it.
+    A string ``{"error": ...}`` payload always pickles, so task
+    failure stays a per-task event no matter what was raised.
+    """
+    @functools.wraps(task)
+    def shielded(payload):
+        start = time.perf_counter()
+        try:
+            return task(payload)
+        except Exception as exc:
+            return {"pid": os.getpid(),
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "seconds": time.perf_counter() - start}
+    return shielded
+
+
+@_transportable
+def _phase_task(payload: Tuple[JobSpec, str, Optional[str],
+                               Optional[str], Optional[int],
+                               Optional[str]]) -> dict:
+    """Pool task: ensure one phase artifact exists in the store."""
+    spec, template, cache_dir, salt, limit_bytes, impl = payload
+    start = time.perf_counter()
+    plan = _plan_for(spec, impl)
+    context = _TaskContext(plan, _worker_cache(cache_dir, salt,
+                                               limit_bytes))
+    computed = context.ensure(template)
+    return {"pid": os.getpid(), "computed": computed,
+            "seconds": time.perf_counter() - start}
+
+
+@_transportable
+def _row_task(payload: Tuple[JobSpec, Dict[str, str], Optional[str],
+                             Optional[str], Optional[int],
+                             Optional[str]]) -> dict:
+    """Pool task: assemble one job's result row from its (already
+    computed) phase artifacts.
+
+    ``events`` is the parent's canonical-owner hit/miss attribution
+    (:meth:`repro.batch.dag.SweepDAG.row_events`), so the row matches
+    a sequential sweep byte for byte outside the timing fields.
+    """
+    from .engine import _result_row
+
+    spec, events, cache_dir, salt, limit_bytes, impl = payload
+    start = time.perf_counter()
+    plan = _plan_for(spec, impl)
+    context = _TaskContext(plan, _worker_cache(cache_dir, salt,
+                                               limit_bytes))
+    artifacts = {}
+    phase_seconds = {}
+    for phase in PHASES:
+        phase_start = time.perf_counter()
+        artifacts[phase] = context.value_of(phase)
+        phase_seconds[phase] = time.perf_counter() - phase_start
+    result = build_wcet_result(plan.program, plan.config, artifacts,
+                               phase_seconds, dict(events),
+                               domain_impl=impl)
+    row = _result_row(spec, result, time.perf_counter() - start)
+    return {"pid": os.getpid(), "row": row,
+            "seconds": time.perf_counter() - start}
+
+
+@_transportable
+def _job_task(payload: Tuple[JobSpec]) -> dict:
+    """Pool task for ``use_cache=False`` sweeps: one whole job, no
+    artifact transport (nothing to share without a store)."""
+    from .engine import run_job
+
+    (spec,) = payload
+    start = time.perf_counter()
+    row = run_job(spec, None)
+    return {"pid": os.getpid(), "row": row,
+            "seconds": time.perf_counter() - start}
+
+
+# -- Parent-side scheduling loop -------------------------------------------------
+
+
+def _pool_context():
+    # Fork workers inherit the imported analysis modules, avoiding a
+    # per-worker re-import; unavailable on some platforms.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+@dataclass
+class SchedulerStats:
+    """What the DAG scheduler did with a sweep."""
+
+    workers: int
+    phase_refs: int = 0
+    unique_tasks: int = 0
+    deduped_tasks: int = 0
+    computed_tasks: int = 0
+    cache_served_tasks: int = 0
+    steals: int = 0
+    wall_seconds: float = 0.0
+    #: worker pid -> seconds spent executing tasks.
+    worker_busy: Dict[int, float] = field(default_factory=dict)
+
+    def busy_fractions(self) -> Dict[str, float]:
+        if self.wall_seconds <= 0:
+            return {}
+        return {str(pid): round(busy / self.wall_seconds, 4)
+                for pid, busy in sorted(self.worker_busy.items())}
+
+    def as_dict(self) -> dict:
+        return {"workers": self.workers,
+                "phase_refs": self.phase_refs,
+                "unique_tasks": self.unique_tasks,
+                "deduped_tasks": self.deduped_tasks,
+                "computed_tasks": self.computed_tasks,
+                "cache_served_tasks": self.cache_served_tasks,
+                "steals": self.steals,
+                "wall_seconds": round(self.wall_seconds, 6),
+                "worker_busy_fraction": self.busy_fractions()}
+
+
+def _node_error_row(node: TaskNode, message: str) -> dict:
+    spec = node.spec
+    return {"workload": spec.workload, "policy": spec.policy,
+            "model": spec.model, "error": message}
+
+
+def run_dag(sweep: SweepDAG, parallel: int,
+            cache_dir: Optional[str] = None,
+            salt: Optional[str] = None,
+            limit_bytes: Optional[int] = None,
+            domain_impl: Optional[str] = None
+            ) -> Tuple[List[dict], SchedulerStats]:
+    """Execute the sweep DAG on a pool of ``parallel`` workers.
+
+    Returns rows in job order (error rows for failed jobs) and the
+    scheduler's statistics.
+    """
+    start = time.perf_counter()
+    impl = resolve_domain_impl(domain_impl)
+    dag = sweep.dag
+    stats = SchedulerStats(workers=parallel, **sweep.stats())
+    rows: List[Optional[dict]] = [None] * len(sweep.jobs)
+    for job_index, message in sweep.build_errors.items():
+        spec = sweep.jobs[job_index]
+        rows[job_index] = {"workload": spec.workload,
+                           "policy": spec.policy, "model": spec.model,
+                           "error": message}
+
+    def job_index_of(node: TaskNode) -> Optional[int]:
+        if node.kind in ("row", "job"):
+            return node.identity[1]
+        return None
+
+    def payload_for(node: TaskNode):
+        if node.kind == "job":
+            return _job_task, (node.spec,)
+        if node.kind == "row":
+            events = sweep.row_events(job_index_of(node))
+            return _row_task, (node.spec, events, cache_dir, salt,
+                               limit_bytes, impl)
+        return _phase_task, (node.spec, node.template, cache_dir, salt,
+                             limit_bytes, impl)
+
+    def record_failure(node: TaskNode, message: str) -> None:
+        for failed in dag.fail(node, message):
+            failed_index = job_index_of(failed)
+            if failed_index is not None and rows[failed_index] is None:
+                rows[failed_index] = _node_error_row(failed,
+                                                     failed.error)
+
+    futures: Dict[Any, TaskNode] = {}
+    with ProcessPoolExecutor(max_workers=parallel,
+                             mp_context=_pool_context()) as pool:
+
+        def submit(nodes: List[TaskNode]) -> None:
+            for node in nodes:
+                function, payload = payload_for(node)
+                futures[pool.submit(function, payload)] = node
+
+        try:
+            submit(dag.start())
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    node = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        record_failure(
+                            node, f"{type(exc).__name__}: {exc}")
+                        continue
+                    pid = outcome["pid"]
+                    seconds = outcome["seconds"]
+                    stats.worker_busy[pid] = \
+                        stats.worker_busy.get(pid, 0.0) + seconds
+                    error = outcome.get("error")
+                    if error is not None:
+                        record_failure(node, error)
+                        continue
+                    if node.deps:
+                        handoff = max(node.deps,
+                                      key=lambda dep:
+                                      dep.finish_order or 0)
+                        if handoff.worker is not None \
+                                and handoff.worker != pid:
+                            stats.steals += 1
+                    computed = outcome.get("computed")
+                    if node.kind in ("phase", "annotate"):
+                        if computed:
+                            stats.computed_tasks += 1
+                        else:
+                            stats.cache_served_tasks += 1
+                    else:
+                        rows[job_index_of(node)] = outcome["row"]
+                    submit(dag.complete(node, computed=computed,
+                                        seconds=seconds, worker=pid))
+        except BrokenProcessPool as exc:
+            message = (f"worker pool died: {type(exc).__name__}: "
+                       f"{exc}" if str(exc) else
+                       f"worker pool died: {type(exc).__name__}")
+            for future in list(futures):
+                futures.pop(future)
+            for node in dag.unfinished():
+                if node.state != "failed":
+                    record_failure(node, message)
+
+    for node in dag.unfinished():
+        # Nodes stranded by an abort that fail() already visited have
+        # error rows; anything else (defensively) becomes one too.
+        record_failure(node, "task was never scheduled")
+    for job_index, row in enumerate(rows):
+        if row is None:
+            spec = sweep.jobs[job_index]
+            rows[job_index] = {"workload": spec.workload,
+                               "policy": spec.policy,
+                               "model": spec.model,
+                               "error": "job did not complete"}
+    stats.wall_seconds = time.perf_counter() - start
+    return rows, stats

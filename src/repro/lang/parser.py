@@ -11,7 +11,13 @@ from .lexer import Token, tokenize
 class ParseError(ValueError):
     def __init__(self, message: str, line: int):
         super().__init__(f"line {line}: {message}")
+        self.message = message
         self.line = line
+
+    def __reduce__(self):
+        # args holds the joined string, so default exception pickling
+        # would replay a one-argument constructor call and fail.
+        return (type(self), (self.message, self.line))
 
 
 #: Binary operator precedence (higher binds tighter).

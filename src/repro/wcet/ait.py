@@ -24,7 +24,8 @@ from __future__ import annotations
 import cProfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Type
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Type)
 
 from ..analysis.domain import AbstractValue
 from ..domainimpl import resolve_domain_impl
@@ -120,9 +121,29 @@ class WCETResult:
 # -- Named analysis phases ------------------------------------------------------
 
 #: The aiT pipeline's phases in execution order.  Every phase is one
-#: ``phase_*`` function below, run under a shared :class:`PhaseRunner`.
+#: :class:`PhaseTask` descriptor built by :func:`phase_plan`, run under
+#: a shared :class:`PhaseRunner`.
 PHASES = ("cfg", "value", "loopbounds", "icache", "dcache", "pipeline",
           "path")
+
+
+@dataclass(frozen=True)
+class PhaseTask:
+    """Descriptor of one pipeline phase: everything a scheduler needs
+    to key, order, and run the phase *without* executing it.
+
+    ``material`` maps the cache keys of the phase's dependencies (name
+    -> key) to the phase's own key material; ``compute`` maps the
+    dependency artifacts (name -> artifact) to the phase's artifact.
+    The split is what lets the batch layer schedule phases of *many*
+    jobs as one deduplicated DAG: task identity is the cache key, and
+    a key can be derived from upstream keys alone.
+    """
+
+    name: str
+    deps: Tuple[str, ...]
+    material: Callable[[Mapping[str, str]], str]
+    compute: Callable[[Mapping[str, Any]], Any]
 
 
 class PhaseRunner:
@@ -134,7 +155,7 @@ class PhaseRunner:
     cache's code-version salt), ``lookup(key) -> (hit, value)``, and
     ``store(key, value)``.  Without a cache the runner just computes.
 
-    Phases must execute in :data:`PHASES` order under one runner: a
+    Phases must execute in dependency order under one runner: a
     phase's key material references the keys of its upstream phases
     (:meth:`key_of`), which is what makes invalidation transitive.
     """
@@ -165,6 +186,15 @@ class PhaseRunner:
         self.events[name] = "miss"
         return value
 
+    def run_task(self, task: PhaseTask,
+                 results: Mapping[str, Any]) -> Any:
+        """Run one :class:`PhaseTask` against already-computed upstream
+        ``results`` (name -> artifact)."""
+        deps = {name: results[name] for name in task.deps}
+        return self.run(task.name,
+                        lambda: task.material(self.keys),
+                        lambda: task.compute(deps))
+
 
 def _mapping_material(mapping: Optional[Mapping]) -> str:
     """Stable key-material encoding of an annotation mapping."""
@@ -184,137 +214,257 @@ def _cache_config_material(config: CacheConfig) -> str:
             f"{config.line_size}p{config.miss_penalty}")
 
 
-def phase_cfg(runner: PhaseRunner, program: Program,
-              entry: Optional[int],
-              indirect_targets: Optional[Dict[int, Sequence[int]]],
-              policy: ContextPolicy) -> Tuple[BinaryCFG, TaskGraph]:
-    """Phase 1: CFG reconstruction + context-sensitive expansion."""
-    def material():
-        return (f"cfg|{program.content_digest()}|entry={entry}"
-                f"|indirect={_mapping_material(indirect_targets)}"
-                f"|policy={policy.describe()}")
+# -- Key-material builders -------------------------------------------------------
+#
+# One function per phase, shared by the in-process pipeline below and
+# the batch layer's DAG scheduler, so both address the same artifacts:
+# a sweep's cold DAG run and a later sequential warm run hit the same
+# cache objects.
 
-    def compute():
+def material_cfg(program: Program, entry: Optional[int],
+                 indirect_targets: Optional[Dict[int, Sequence[int]]],
+                 policy: ContextPolicy) -> str:
+    return (f"cfg|{program.content_digest()}|entry={entry}"
+            f"|indirect={_mapping_material(indirect_targets)}"
+            f"|policy={policy.describe()}")
+
+
+def material_value(cfg_key: str, domain: Type[AbstractValue],
+                   register_ranges: Optional[Dict[int, Tuple[int, int]]],
+                   narrowing_passes: int, use_widening_thresholds: bool,
+                   memory_ranges: Optional[Dict[int, Tuple[int, int]]],
+                   effective_impl: str) -> str:
+    return (f"value|{cfg_key}"
+            f"|domain={domain.__module__}.{domain.__qualname__}"
+            f"|regs={_mapping_material(register_ranges)}"
+            f"|narrow={narrowing_passes}"
+            f"|wthresh={use_widening_thresholds}"
+            f"|mem={_mapping_material(memory_ranges)}"
+            f"|impl={effective_impl}")
+
+
+def material_loopbounds(value_key: str,
+                        manual_loop_bounds: Optional[Dict[int, int]]
+                        ) -> str:
+    return (f"loopbounds|{value_key}"
+            f"|manual={_mapping_material(manual_loop_bounds)}")
+
+
+def material_icache(cfg_key: str, config: CacheConfig,
+                    effective_impl: str) -> str:
+    return (f"icache|{cfg_key}"
+            f"|{_cache_config_material(config)}"
+            f"|impl={effective_impl}")
+
+
+def material_dcache(cfg_key: str, value_key: str, config: CacheConfig,
+                    use_value_analysis: bool,
+                    effective_impl: str) -> str:
+    return (f"dcache|{cfg_key}|{value_key}"
+            f"|{_cache_config_material(config)}"
+            f"|usevalue={use_value_analysis}"
+            f"|impl={effective_impl}")
+
+
+def material_pipeline(cfg_key: str, icache_key: str, dcache_key: str,
+                      config: MachineConfig) -> str:
+    return (f"pipeline|{cfg_key}"
+            f"|{icache_key}|{dcache_key}"
+            f"|model={config.pipeline_model}"
+            f"|cap={config.pipeline_state_cap}"
+            f"|bp={config.branch_penalty}|mul={config.mul_extra}"
+            f"|lus={config.load_use_stall}")
+
+
+def material_path(cfg_key: str, pipeline_key: str, loopbounds_key: str,
+                  value_key: str, use_infeasible_paths: bool,
+                  integer: bool) -> str:
+    return (f"path|{cfg_key}|{pipeline_key}"
+            f"|{loopbounds_key}|{value_key}"
+            f"|infeasible={use_infeasible_paths}|integer={integer}")
+
+
+def value_effective_impl(domain: Type[AbstractValue],
+                         impl: Optional[str]) -> str:
+    """The domain implementation the value phase actually executes.
+
+    Non-interval domains always run the python implementation; keying
+    the artifact by the executing implementation keeps cached states
+    (which embed their memory representation) from mixing.
+    """
+    effective = resolve_domain_impl(impl)
+    if domain is not Interval:
+        effective = "python"
+    return effective
+
+
+def loopbounds_task(manual_loop_bounds: Optional[Dict[int, int]]
+                    ) -> PhaseTask:
+    """The loop-bound phase descriptor for a known annotation mapping.
+
+    Split out of :func:`phase_plan` because the batch DAG needs to
+    build it *late*: for workloads that follow the discover-then-
+    annotate workflow, the manual mapping is itself the product of an
+    upstream task.
+    """
+    return PhaseTask(
+        "loopbounds", ("value",),
+        lambda keys: material_loopbounds(keys["value"],
+                                         manual_loop_bounds),
+        lambda deps: analyze_loop_bounds(deps["value"],
+                                         manual_loop_bounds))
+
+
+def phase_plan(program: Program,
+               config: Optional[MachineConfig] = None,
+               entry: Optional[int] = None,
+               register_ranges: Optional[
+                   Dict[int, Tuple[int, int]]] = None,
+               manual_loop_bounds: Optional[Dict[int, int]] = None,
+               indirect_targets: Optional[Dict[int, Sequence[int]]] = None,
+               domain: Type[AbstractValue] = Interval,
+               use_infeasible_paths: bool = True,
+               use_value_analysis_for_dcache: bool = True,
+               use_widening_thresholds: bool = True,
+               narrowing_passes: int = 2,
+               integer: bool = True,
+               context_policy: Optional[ContextPolicy] = None,
+               pipeline_model: Optional[str] = None,
+               memory_ranges: Optional[Dict[int, Tuple[int, int]]] = None,
+               domain_impl: Optional[str] = None) -> List[PhaseTask]:
+    """Build the full pipeline as a list of :class:`PhaseTask`
+    descriptors in execution order, without running anything.
+
+    Parameters mirror :func:`analyze_wcet` exactly; running the plan's
+    tasks in order under one :class:`PhaseRunner` *is* the pipeline.
+    The batch layer instead feeds the descriptors of many jobs into
+    one deduplicated task DAG (:mod:`repro.batch.dag`).
+    """
+    config = config or MachineConfig.default()
+    if pipeline_model is not None:
+        config = config.with_model(pipeline_model)
+    policy = context_policy or DEFAULT_POLICY
+    impl = resolve_domain_impl(
+        domain_impl if domain_impl is not None else config.domain_impl)
+    value_impl = value_effective_impl(domain, impl)
+
+    def compute_cfg(deps):
         binary_cfg = build_cfg(program, entry, indirect_targets)
         graph = expand_task(binary_cfg, policy=policy)
         return binary_cfg, graph
 
-    return runner.run("cfg", material, compute)
-
-
-def phase_value(runner: PhaseRunner, graph: TaskGraph,
-                domain: Type[AbstractValue],
-                register_ranges: Optional[Dict[int, Tuple[int, int]]],
-                narrowing_passes: int, use_widening_thresholds: bool,
-                memory_ranges: Optional[Dict[int, Tuple[int, int]]],
-                impl: Optional[str] = None) -> ValueAnalysisResult:
-    """Phase 2: interval/strided value analysis over the task graph."""
-    # Non-interval domains always run the python implementation; key the
-    # artifact by the implementation that actually executes so cached
-    # states (which embed their memory representation) never mix.
-    effective_impl = resolve_domain_impl(impl)
-    if domain is not Interval:
-        effective_impl = "python"
-
-    def material():
-        return (f"value|{runner.key_of('cfg')}"
-                f"|domain={domain.__module__}.{domain.__qualname__}"
-                f"|regs={_mapping_material(register_ranges)}"
-                f"|narrow={narrowing_passes}"
-                f"|wthresh={use_widening_thresholds}"
-                f"|mem={_mapping_material(memory_ranges)}"
-                f"|impl={effective_impl}")
-
-    def compute():
+    def compute_value(deps):
+        _, graph = deps["cfg"]
         return analyze_values(
             graph, domain=domain, register_ranges=register_ranges,
             narrowing_passes=narrowing_passes,
             use_widening_thresholds=use_widening_thresholds,
-            memory_ranges=memory_ranges, domain_impl=effective_impl)
+            memory_ranges=memory_ranges, domain_impl=value_impl)
 
-    return runner.run("value", material, compute)
+    def compute_icache(deps):
+        _, graph = deps["cfg"]
+        return analyze_icache(graph, config.icache, impl=impl)
 
+    def compute_dcache(deps):
+        _, graph = deps["cfg"]
+        return analyze_dcache(graph, config.dcache, deps["value"],
+                              use_value_analysis_for_dcache, impl=impl)
 
-def phase_loopbounds(runner: PhaseRunner, values: ValueAnalysisResult,
-                     manual_loop_bounds: Optional[Dict[int, int]]
-                     ) -> Dict[NodeId, LoopBound]:
-    """Phase 3: loop-bound derivation (plus manual annotations)."""
-    def material():
-        return (f"loopbounds|{runner.key_of('value')}"
-                f"|manual={_mapping_material(manual_loop_bounds)}")
+    def compute_pipeline(deps):
+        _, graph = deps["cfg"]
+        return analyze_pipeline(graph, config, deps["icache"],
+                                deps["dcache"])
 
-    return runner.run(
-        "loopbounds", material,
-        lambda: analyze_loop_bounds(values, manual_loop_bounds))
+    def compute_path(deps):
+        _, graph = deps["cfg"]
+        return analyze_paths(graph, deps["pipeline"],
+                             deps["loopbounds"], deps["value"],
+                             use_infeasible_paths, integer)
 
-
-def phase_icache(runner: PhaseRunner, graph: TaskGraph,
-                 config: CacheConfig,
-                 impl: Optional[str] = None) -> ICacheResult:
-    """Phase 4a: instruction-cache must/may/persistence analysis."""
-    effective_impl = resolve_domain_impl(impl)
-
-    def material():
-        return (f"icache|{runner.key_of('cfg')}"
-                f"|{_cache_config_material(config)}"
-                f"|impl={effective_impl}")
-
-    return runner.run(
-        "icache", material,
-        lambda: analyze_icache(graph, config, impl=effective_impl))
-
-
-def phase_dcache(runner: PhaseRunner, graph: TaskGraph,
-                 config: CacheConfig, values: ValueAnalysisResult,
-                 use_value_analysis: bool,
-                 impl: Optional[str] = None) -> DCacheResult:
-    """Phase 4b: data-cache analysis fed by the value analysis."""
-    effective_impl = resolve_domain_impl(impl)
-
-    def material():
-        return (f"dcache|{runner.key_of('cfg')}|{runner.key_of('value')}"
-                f"|{_cache_config_material(config)}"
-                f"|usevalue={use_value_analysis}"
-                f"|impl={effective_impl}")
-
-    return runner.run(
-        "dcache", material,
-        lambda: analyze_dcache(graph, config, values, use_value_analysis,
-                               impl=effective_impl))
-
-
-def phase_pipeline(runner: PhaseRunner, graph: TaskGraph,
-                   config: MachineConfig, icache: ICacheResult,
-                   dcache: DCacheResult) -> TimingModel:
-    """Phase 5: pipeline timing (additive or abstract krisc5 states)."""
-    def material():
-        return (f"pipeline|{runner.key_of('cfg')}"
-                f"|{runner.key_of('icache')}|{runner.key_of('dcache')}"
-                f"|model={config.pipeline_model}"
-                f"|cap={config.pipeline_state_cap}"
-                f"|bp={config.branch_penalty}|mul={config.mul_extra}"
-                f"|lus={config.load_use_stall}")
-
-    return runner.run(
-        "pipeline", material,
-        lambda: analyze_pipeline(graph, config, icache, dcache))
+    return [
+        PhaseTask(
+            "cfg", (),
+            lambda keys: material_cfg(program, entry, indirect_targets,
+                                      policy),
+            compute_cfg),
+        PhaseTask(
+            "value", ("cfg",),
+            lambda keys: material_value(
+                keys["cfg"], domain, register_ranges, narrowing_passes,
+                use_widening_thresholds, memory_ranges, value_impl),
+            compute_value),
+        loopbounds_task(manual_loop_bounds),
+        PhaseTask(
+            "icache", ("cfg",),
+            lambda keys: material_icache(keys["cfg"], config.icache,
+                                         impl),
+            compute_icache),
+        PhaseTask(
+            "dcache", ("cfg", "value"),
+            lambda keys: material_dcache(
+                keys["cfg"], keys["value"], config.dcache,
+                use_value_analysis_for_dcache, impl),
+            compute_dcache),
+        PhaseTask(
+            "pipeline", ("cfg", "icache", "dcache"),
+            lambda keys: material_pipeline(
+                keys["cfg"], keys["icache"], keys["dcache"], config),
+            compute_pipeline),
+        PhaseTask(
+            "path", ("cfg", "pipeline", "loopbounds", "value"),
+            lambda keys: material_path(
+                keys["cfg"], keys["pipeline"], keys["loopbounds"],
+                keys["value"], use_infeasible_paths, integer),
+            compute_path),
+    ]
 
 
-def phase_path(runner: PhaseRunner, graph: TaskGraph,
-               timing: TimingModel,
-               loop_bounds: Dict[NodeId, LoopBound],
-               values: ValueAnalysisResult, use_infeasible_paths: bool,
-               integer: bool) -> PathAnalysisResult:
-    """Phase 6: IPET path analysis over the timing model (ILP)."""
-    def material():
-        return (f"path|{runner.key_of('cfg')}|{runner.key_of('pipeline')}"
-                f"|{runner.key_of('loopbounds')}|{runner.key_of('value')}"
-                f"|infeasible={use_infeasible_paths}|integer={integer}")
+def collect_solver_stats(values: ValueAnalysisResult,
+                         icache: ICacheResult, dcache: DCacheResult,
+                         timing: TimingModel,
+                         path: PathAnalysisResult) -> Dict[str, object]:
+    """The per-phase work counters a :class:`WCETResult` carries."""
+    solver_stats: Dict[str, object] = {}
+    if values.fixpoint.stats is not None:
+        solver_stats["value"] = values.fixpoint.stats
+    if icache.fixpoint_stats is not None:
+        solver_stats["icache"] = icache.fixpoint_stats
+    if dcache.fixpoint_stats is not None:
+        solver_stats["dcache"] = dcache.fixpoint_stats
+    if timing.fixpoint_stats is not None:
+        solver_stats["pipeline"] = timing.fixpoint_stats
+    if path.solver_stats is not None:
+        solver_stats["path"] = path.solver_stats
+    return solver_stats
 
-    return runner.run(
-        "path", material,
-        lambda: analyze_paths(graph, timing, loop_bounds, values,
-                              use_infeasible_paths, integer))
+
+def build_wcet_result(program: Program, config: MachineConfig,
+                      artifacts: Mapping[str, Any],
+                      phase_seconds: Dict[str, float],
+                      cache_events: Dict[str, str],
+                      domain_impl: Optional[str] = None,
+                      profiles: Optional[Dict[str, object]] = None
+                      ) -> WCETResult:
+    """Assemble a :class:`WCETResult` from the seven phase artifacts.
+
+    Used by :func:`analyze_wcet` after running the plan in-process and
+    by the batch DAG scheduler after collecting the same artifacts from
+    distributed tasks — both directions produce identical results.
+    """
+    binary_cfg, graph = artifacts["cfg"]
+    values = artifacts["value"]
+    icache = artifacts["icache"]
+    dcache = artifacts["dcache"]
+    timing = artifacts["pipeline"]
+    path = artifacts["path"]
+    return WCETResult(
+        program, config, binary_cfg, graph, values,
+        artifacts["loopbounds"], icache, dcache, timing, path,
+        phase_seconds,
+        solver_stats=collect_solver_stats(values, icache, dcache,
+                                          timing, path),
+        context_policy=graph.policy, cache_events=cache_events,
+        domain_impl=domain_impl, profiles=profiles or {})
 
 
 def analyze_loop_annotations(program: Program,
@@ -329,11 +479,15 @@ def analyze_loop_annotations(program: Program,
     headers to annotate manually.  Uses the same phase steps (and hence
     shares cached artifacts) as :func:`analyze_wcet`.
     """
+    plan = phase_plan(program, memory_ranges=memory_ranges,
+                      domain_impl=domain_impl)
     runner = PhaseRunner(phase_cache)
-    _, graph = phase_cfg(runner, program, None, None, DEFAULT_POLICY)
-    values = phase_value(runner, graph, Interval, None, 2, True,
-                         memory_ranges, impl=domain_impl)
-    return phase_loopbounds(runner, values, None)
+    results: Dict[str, Any] = {}
+    for task in plan:
+        results[task.name] = runner.run_task(task, results)
+        if task.name == "loopbounds":
+            return results["loopbounds"]
+    raise AssertionError("phase plan lacks a loopbounds phase")
 
 
 def analyze_wcet(program: Program,
@@ -394,9 +548,19 @@ def analyze_wcet(program: Program,
     config = config or MachineConfig.default()
     if pipeline_model is not None:
         config = config.with_model(pipeline_model)
-    policy = context_policy or DEFAULT_POLICY
     impl = resolve_domain_impl(
         domain_impl if domain_impl is not None else config.domain_impl)
+    plan = phase_plan(
+        program, config=config, entry=entry,
+        register_ranges=register_ranges,
+        manual_loop_bounds=manual_loop_bounds,
+        indirect_targets=indirect_targets, domain=domain,
+        use_infeasible_paths=use_infeasible_paths,
+        use_value_analysis_for_dcache=use_value_analysis_for_dcache,
+        use_widening_thresholds=use_widening_thresholds,
+        narrowing_passes=narrowing_passes, integer=integer,
+        context_policy=context_policy, memory_ranges=memory_ranges,
+        domain_impl=impl)
     phases: Dict[str, float] = {}
     profiles: Dict[str, object] = {}
 
@@ -416,40 +580,11 @@ def analyze_wcet(program: Program,
         return _Timer()
 
     runner = PhaseRunner(phase_cache)
-    with timed("cfg"):
-        binary_cfg, graph = phase_cfg(runner, program, entry,
-                                      indirect_targets, policy)
-    with timed("value"):
-        values = phase_value(runner, graph, domain, register_ranges,
-                             narrowing_passes, use_widening_thresholds,
-                             memory_ranges, impl=impl)
-    with timed("loopbounds"):
-        loop_bounds = phase_loopbounds(runner, values, manual_loop_bounds)
-    with timed("icache"):
-        icache = phase_icache(runner, graph, config.icache, impl=impl)
-    with timed("dcache"):
-        dcache = phase_dcache(runner, graph, config.dcache, values,
-                              use_value_analysis_for_dcache, impl=impl)
-    with timed("pipeline"):
-        timing = phase_pipeline(runner, graph, config, icache, dcache)
-    with timed("path"):
-        path = phase_path(runner, graph, timing, loop_bounds, values,
-                          use_infeasible_paths, integer)
+    results: Dict[str, Any] = {}
+    for task in plan:
+        with timed(task.name):
+            results[task.name] = runner.run_task(task, results)
 
-    solver_stats = {}
-    if values.fixpoint.stats is not None:
-        solver_stats["value"] = values.fixpoint.stats
-    if icache.fixpoint_stats is not None:
-        solver_stats["icache"] = icache.fixpoint_stats
-    if dcache.fixpoint_stats is not None:
-        solver_stats["dcache"] = dcache.fixpoint_stats
-    if timing.fixpoint_stats is not None:
-        solver_stats["pipeline"] = timing.fixpoint_stats
-    if path.solver_stats is not None:
-        solver_stats["path"] = path.solver_stats
-    return WCETResult(program, config, binary_cfg, graph, values,
-                      loop_bounds, icache, dcache, timing, path, phases,
-                      solver_stats=solver_stats,
-                      context_policy=graph.policy,
-                      cache_events=dict(runner.events),
-                      domain_impl=impl, profiles=profiles)
+    return build_wcet_result(program, config, results, phases,
+                             dict(runner.events), domain_impl=impl,
+                             profiles=profiles)

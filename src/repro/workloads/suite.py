@@ -204,6 +204,22 @@ def get_workload(name: str) -> Workload:
 # -- Analysis with annotations --------------------------------------------------
 
 
+def derive_manual_bounds(workload: Workload, bounds) -> Dict[int, int]:
+    """Turn the discovery prefix's loop-bound table into the manual
+    annotation mapping: the workload's documented bounds applied to
+    the unbounded loop headers in address order (the aiT
+    discover-then-annotate workflow)."""
+    manual: Dict[int, int] = {}
+    if workload.manual_bounds_in_order:
+        unbounded = sorted(
+            {header.block for header, bound in bounds.items()
+             if not bound.is_bounded})
+        for address, bound in zip(unbounded,
+                                  workload.manual_bounds_in_order):
+            manual[address] = bound
+    return manual
+
+
 def analyze_workload(workload: Workload,
                      config: Optional[MachineConfig] = None,
                      program: Optional[Program] = None,
@@ -227,12 +243,7 @@ def analyze_workload(workload: Workload,
         bounds = analyze_loop_annotations(program,
                                           memory_ranges=memory_ranges,
                                           phase_cache=phase_cache)
-        unbounded = sorted(
-            {header.block for header, bound in bounds.items()
-             if not bound.is_bounded})
-        for address, bound in zip(unbounded,
-                                  workload.manual_bounds_in_order):
-            manual[address] = bound
+        manual = derive_manual_bounds(workload, bounds)
     return analyze_wcet(program, config=config, manual_loop_bounds=manual,
                         memory_ranges=memory_ranges,
                         phase_cache=phase_cache, **kwargs)
