@@ -203,6 +203,97 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import AnalysisServer, AnalysisService
+
+    # Unset flags keep the ArtifactCache class defaults (bounded);
+    # explicit 0 is rejected rather than silently meaning "unbounded".
+    memo_kwargs = {}
+    if args.memo_entries is not None:
+        if args.memo_entries <= 0:
+            raise SystemExit("--memo-entries must be positive")
+        memo_kwargs["memo_entries"] = args.memo_entries
+    if args.memo_mb is not None:
+        if args.memo_mb <= 0:
+            raise SystemExit("--memo-mb must be positive")
+        memo_kwargs["memo_bytes"] = int(args.memo_mb * 1024 * 1024)
+    service = AnalysisService(cache_dir=args.cache_dir,
+                              workers=args.workers,
+                              cache_limit_mb=args.cache_limit_mb,
+                              **memo_kwargs)
+    server = AnalysisServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port} "
+          f"({args.workers} worker"
+          f"{'s' if args.workers != 1 else ''}, cache: "
+          f"{args.cache_dir or 'in-memory'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .serve import ServeClientError, analyze, server_stats
+
+    with open(args.file) as handle:
+        text = handle.read()
+    kind = "source" if args.file.endswith(".c") else "assembly"
+    payload: dict = {kind: text}
+    if args.policy:
+        payload["policies"] = args.policy
+    if args.model:
+        payload["models"] = args.model
+    if args.entry:
+        payload["entry"] = args.entry
+    if args.loop_bound:
+        payload["loop_bounds"] = _parse_assignments(args.loop_bound,
+                                                    "loop bound")
+    if args.reg_range:
+        ranges = {}
+        for item in args.reg_range:
+            name, _, span = item.partition("=")
+            low, _, high = span.partition(":")
+            ranges[name.strip()] = [int(low, 0), int(high, 0)]
+        payload["register_ranges"] = ranges
+    if args.label:
+        payload["label"] = args.label
+
+    try:
+        record = analyze(args.url, payload, timeout=args.timeout)
+    except ServeClientError as exc:
+        print(f"request rejected: {exc}", file=sys.stderr)
+        return 1
+    if record["status"] == "error":
+        print(f"analysis failed: {record['error']}", file=sys.stderr)
+        return 1
+
+    header = (f"{'label':<12} {'policy':<12} {'model':<9} "
+              f"{'wcet':>8} {'cache':>9}")
+    print(header)
+    print("-" * len(header))
+    for row in record["rows"]:
+        cache = row["cache"]
+        provenance = f"{cache['hits']}h/{cache['misses']}m"
+        print(f"{row['workload']:<12} {row['policy']:<12} "
+              f"{row['model']:<9} {row['wcet_cycles']:>8} "
+              f"{provenance:>9}")
+    summary = record["cache"]
+    print(f"\nphase cache: {summary['hits']} hits / "
+          f"{summary['misses']} misses "
+          f"({summary['hit_ratio']:.0%}); "
+          f"compile {record['compile_seconds'] * 1000:.1f}ms, "
+          f"wall {record['wall_seconds'] * 1000:.1f}ms")
+    if args.stats:
+        import json as json_module
+        print(json_module.dumps(server_stats(args.url), indent=2,
+                                sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -312,6 +403,61 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(CI cross-job sharing guard; needs "
                              "--jobs > 1 and caching enabled)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis service (HTTP, stdlib only)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8349,
+                         help="listen port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="analysis worker threads (default 2)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent artifact cache directory "
+                              "(default: in-memory only)")
+    p_serve.add_argument("--cache-limit-mb", type=float, default=None,
+                         metavar="MB",
+                         help="bound the on-disk artifact store "
+                              "(requires --cache-dir)")
+    p_serve.add_argument("--memo-entries", type=int,
+                         default=None, metavar="N",
+                         help="bound the in-memory artifact memo by "
+                              "entry count (default 4096)")
+    p_serve.add_argument("--memo-mb", type=float, default=None,
+                         metavar="MB",
+                         help="bound the in-memory artifact memo by "
+                              "size (default 512)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_an = sub.add_parser(
+        "analyze", help="submit a file to a running 'repro serve'")
+    p_an.add_argument("file", help="mini-C (.c) or KRISC assembly")
+    p_an.add_argument("--url", required=True, metavar="URL",
+                      help="base URL of the server, e.g. "
+                           "http://127.0.0.1:8349")
+    p_an.add_argument("--policy", action="append", default=[],
+                      metavar="P",
+                      help="context policy token (repeatable; "
+                           "default full)")
+    p_an.add_argument("--model", action="append", default=[],
+                      metavar="M",
+                      help="pipeline model (repeatable; "
+                           "default additive)")
+    p_an.add_argument("--entry", default=None, metavar="SYMBOL",
+                      help="analysis entry symbol (default: program "
+                           "entry)")
+    p_an.add_argument("--loop-bound", action="append", default=[],
+                      metavar="ADDR=N",
+                      help="manual bound for a loop header address")
+    p_an.add_argument("--reg-range", action="append", default=[],
+                      metavar="Rk=LO:HI",
+                      help="entry value range annotation")
+    p_an.add_argument("--label", default=None,
+                      help="label reported in result rows")
+    p_an.add_argument("--timeout", type=float, default=300.0,
+                      metavar="S", help="poll timeout in seconds")
+    p_an.add_argument("--stats", action="store_true",
+                      help="also print GET /stats afterwards")
+    p_an.set_defaults(func=cmd_analyze)
 
     args = parser.parse_args(argv)
     return args.func(args)

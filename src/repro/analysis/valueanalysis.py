@@ -212,7 +212,8 @@ def analyze_values(graph: TaskGraph,
                    strategy: str = "wto",
                    memory_ranges: Optional[
                        Dict[int, Tuple[int, int]]] = None,
-                   domain_impl: Optional[str] = None
+                   domain_impl: Optional[str] = None,
+                   program=None
                    ) -> ValueAnalysisResult:
     """Run value analysis on a task (phase 2 of the aiT pipeline).
 
@@ -226,11 +227,18 @@ def analyze_values(graph: TaskGraph,
     implementation (:mod:`repro.domainimpl`); the packed-array memory
     and compiled block transfers are interval-specific, so other
     domains always run the pure-Python reference implementation.
+    ``program`` supplies the binary whose image seeds the entry state;
+    it defaults to the graph's own program but MUST be passed when the
+    graph may come from a cache keyed on a code slice
+    (:meth:`repro.isa.program.Program.reachable_slice`) — the cached
+    graph then embeds a predecessor binary whose data sections may be
+    stale.
     """
     impl = resolve_domain_impl(domain_impl)
     if domain is not Interval:
         impl = "python"     # VectorMemory packs exactly two bounds/word
-    program = graph.binary.program
+    if program is None:
+        program = graph.binary.program
     memory = VectorMemory(domain, AddressSpace()) \
         if impl == "numpy" else None
     entry_state = AbstractState.entry_state(

@@ -28,8 +28,11 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
-from typing import Any, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
 
 _SALT_CACHE: Optional[str] = None
 
@@ -67,21 +70,41 @@ class ArtifactCache:
     additionally memoised in memory, so repeated lookups within one
     process deserialise once.
 
+    The in-memory memo is an LRU bounded by entry count and by
+    (estimated pickled) bytes — a long-running process such as the
+    ``repro serve`` daemon would otherwise retain every artifact it
+    ever touched.  Eviction only forgets the deserialised copy; the
+    on-disk object (when ``root`` is set) still serves later lookups.
+
     This class implements the phase-cache protocol of
     :class:`repro.wcet.ait.PhaseRunner`: :meth:`key`, :meth:`lookup`,
-    :meth:`store`.
+    :meth:`store`.  It is thread-safe: the serve layer shares one
+    instance across its worker pool.
     """
+
+    #: Default LRU bounds of the in-memory memo.  ``None`` disables the
+    #: corresponding bound (pass explicitly to restore the old
+    #: unbounded behaviour).
+    MEMO_ENTRY_LIMIT = 4096
+    MEMO_BYTE_LIMIT = 512 * 1024 * 1024
 
     def __init__(self, root: Optional[str] = None,
                  salt: Optional[str] = None,
-                 limit_bytes: Optional[int] = None):
+                 limit_bytes: Optional[int] = None,
+                 memo_entries: Optional[int] = MEMO_ENTRY_LIMIT,
+                 memo_bytes: Optional[int] = MEMO_BYTE_LIMIT):
         self.root = root
         self.salt = salt if salt is not None else code_version_salt()
         self.limit_bytes = limit_bytes
+        self.memo_entries = memo_entries
+        self.memo_bytes = memo_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._memory: dict = {}
+        self.memo_evictions = 0
+        self._memory: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._memory_bytes = 0
+        self._lock = threading.RLock()
 
     # -- Protocol -----------------------------------------------------------
 
@@ -92,9 +115,12 @@ class ArtifactCache:
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
         """``(True, artifact)`` when present, else ``(False, None)``."""
-        if key in self._memory:
-            self.hits += 1
-            return True, self._memory[key]
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return True, entry[0]
         if self.root is not None:
             path = self._object_path(key)
             try:
@@ -111,18 +137,32 @@ class ArtifactCache:
                     # Freshen the mtime so a bounded store evicts
                     # least-recently-*used* objects, not merely the
                     # least recently written.
+                    stat = os.stat(path)
                     os.utime(path)
+                    size = stat.st_size
                 except OSError:
-                    pass
-                self.hits += 1
-                self._memory[key] = value
+                    size = _estimate_size(value)
+                with self._lock:
+                    self.hits += 1
+                    self._memo_put(key, value, size)
                 return True, value
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return False, None
 
     def store(self, key: str, value: Any) -> None:
-        self._memory[key] = value
-        if self.root is None:
+        payload: Optional[bytes] = None
+        try:
+            payload = pickle.dumps(value,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Unpicklable artifact: memo-only, size estimated.
+            payload = None
+        size = len(payload) if payload is not None \
+            else _estimate_size(value)
+        with self._lock:
+            self._memo_put(key, value, size)
+        if self.root is None or payload is None:
             return
         try:
             path = self._object_path(key)
@@ -132,8 +172,7 @@ class ArtifactCache:
                                                  suffix=".tmp")
             try:
                 with os.fdopen(handle, "wb") as stream:
-                    pickle.dump(value, stream,
-                                protocol=pickle.HIGHEST_PROTOCOL)
+                    stream.write(payload)
                 os.replace(temp_path, path)
             except BaseException:
                 try:
@@ -142,15 +181,45 @@ class ArtifactCache:
                     pass
                 raise
         except Exception:
-            # An artifact that cannot be persisted (unpicklable member,
-            # full disk) degrades to uncached-on-disk: the computed
-            # result is still returned and memoised in memory, and the
-            # next process simply recomputes, mirroring how lookup()
-            # treats unreadable objects as misses.
+            # An artifact that cannot be persisted (full disk, dead
+            # mount) degrades to uncached-on-disk: the computed result
+            # is still returned and memoised in memory, and the next
+            # process simply recomputes, mirroring how lookup() treats
+            # unreadable objects as misses.
             pass
         else:
             if self.limit_bytes is not None:
                 self._evict_if_needed(protect=self._object_path(key))
+
+    def _memo_put(self, key: str, value: Any, size: int) -> None:
+        """Insert into the LRU memo and shed oldest entries past the
+        bounds.  The entry just inserted is never evicted (a memo too
+        small for one artifact still has to serve it).  Caller holds
+        the lock."""
+        old = self._memory.pop(key, None)
+        if old is not None:
+            self._memory_bytes -= old[1]
+        self._memory[key] = (value, size)
+        self._memory_bytes += size
+        while len(self._memory) > 1 and (
+                (self.memo_entries is not None
+                 and len(self._memory) > self.memo_entries)
+                or (self.memo_bytes is not None
+                    and self._memory_bytes > self.memo_bytes)):
+            _, (_, dropped) = self._memory.popitem(last=False)
+            self._memory_bytes -= dropped
+            self.memo_evictions += 1
+
+    def memo_stats(self) -> Dict[str, Optional[int]]:
+        """Occupancy and eviction counters of the in-memory memo."""
+        with self._lock:
+            return {
+                "entries": len(self._memory),
+                "bytes": self._memory_bytes,
+                "limit_entries": self.memo_entries,
+                "limit_bytes": self.memo_bytes,
+                "evictions": self.memo_evictions,
+            }
 
     def _evict_if_needed(self, protect: Optional[str] = None) -> None:
         """Drop oldest on-disk objects (by mtime) until the store fits
@@ -207,3 +276,12 @@ class ArtifactCache:
     def hit_ratio(self) -> float:
         """Fraction of lookups served from the cache (0.0 when idle)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+def _estimate_size(value: Any) -> int:
+    """Rough byte size of an artifact that couldn't be pickled or
+    stat'ed — the memo accounting only needs the right magnitude."""
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return sys.getsizeof(value)

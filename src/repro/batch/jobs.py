@@ -83,11 +83,21 @@ class JobSpec:
         return parse_policy(self.policy)
 
 
-def _split(component: Optional[str], all_values: Sequence[str]
-           ) -> List[str]:
+def _split(component: Optional[str], all_values: Sequence[str],
+           what: str) -> List[str]:
     if component is None or component in ("", "all"):
         return list(all_values)
-    return [item.strip() for item in component.split(",") if item.strip()]
+    tokens = [item.strip() for item in component.split(",")
+              if item.strip()]
+    if "all" in tokens:
+        raise ValueError(
+            f"'all' cannot be combined with explicit {what} "
+            f"(got {component!r}); use 'all' alone for every "
+            f"{what.rstrip('s')}")
+    # Dedupe preserving first occurrence: repeated tokens would yield
+    # duplicate JobSpecs, which double-write golden rows and skew the
+    # DAG's canonical-owner hit/miss attribution.
+    return list(dict.fromkeys(tokens))
 
 
 def expand_matrix(spec: str = "all:all:all") -> List[JobSpec]:
@@ -104,9 +114,9 @@ def expand_matrix(spec: str = "all:all:all") -> List[JobSpec]:
         raise ValueError(f"bad matrix {spec!r}: expected "
                          "WORKLOADS:POLICIES:MODELS")
     parts += [None] * (3 - len(parts))
-    workloads = _split(parts[0], workload_names())
-    policies = _split(parts[1], ALL_POLICIES)
-    models = _split(parts[2], PIPELINE_MODELS)
+    workloads = _split(parts[0], workload_names(), "workloads")
+    policies = _split(parts[1], ALL_POLICIES, "policies")
+    models = _split(parts[2], PIPELINE_MODELS, "models")
 
     available = set(workload_names())
     for workload in workloads:

@@ -32,7 +32,7 @@ from ..domainimpl import resolve_domain_impl
 from ..isa.program import Program
 from ..wcet.ait import PHASES, build_wcet_result
 from ..workloads.suite import get_workload
-from .cachestore import ArtifactCache
+from .cachestore import ArtifactCache, code_version_salt
 from .dag import JobPlan, SweepDAG, TaskNode
 from .jobs import JobSpec
 
@@ -58,6 +58,9 @@ def clear_worker_caches() -> None:
 
 def _worker_cache(cache_dir: Optional[str], salt: Optional[str],
                   limit_bytes: Optional[int]) -> ArtifactCache:
+    # Same normalization as engine._process_cache: the default salt
+    # passed explicitly must not build a second cache instance.
+    salt = salt if salt is not None else code_version_salt()
     memo_key = (cache_dir, salt, limit_bytes)
     cache = _CACHE_MEMO.get(memo_key)
     if cache is None:
@@ -161,10 +164,11 @@ def _phase_task(payload: Tuple[JobSpec, str, Optional[str],
     spec, template, cache_dir, salt, limit_bytes, impl = payload
     start = time.perf_counter()
     plan = _plan_for(spec, impl)
-    context = _TaskContext(plan, _worker_cache(cache_dir, salt,
-                                               limit_bytes))
+    cache = _worker_cache(cache_dir, salt, limit_bytes)
+    context = _TaskContext(plan, cache)
     computed = context.ensure(template)
     return {"pid": os.getpid(), "computed": computed,
+            "memo": cache.memo_stats(),
             "seconds": time.perf_counter() - start}
 
 
@@ -184,8 +188,8 @@ def _row_task(payload: Tuple[JobSpec, Dict[str, str], Optional[str],
     spec, events, cache_dir, salt, limit_bytes, impl = payload
     start = time.perf_counter()
     plan = _plan_for(spec, impl)
-    context = _TaskContext(plan, _worker_cache(cache_dir, salt,
-                                               limit_bytes))
+    cache = _worker_cache(cache_dir, salt, limit_bytes)
+    context = _TaskContext(plan, cache)
     artifacts = {}
     phase_seconds = {}
     for phase in PHASES:
@@ -197,6 +201,7 @@ def _row_task(payload: Tuple[JobSpec, Dict[str, str], Optional[str],
                                domain_impl=impl)
     row = _result_row(spec, result, time.perf_counter() - start)
     return {"pid": os.getpid(), "row": row,
+            "memo": cache.memo_stats(),
             "seconds": time.perf_counter() - start}
 
 
@@ -239,12 +244,23 @@ class SchedulerStats:
     wall_seconds: float = 0.0
     #: worker pid -> seconds spent executing tasks.
     worker_busy: Dict[int, float] = field(default_factory=dict)
+    #: worker pid -> latest ArtifactCache.memo_stats() snapshot.
+    worker_memo: Dict[int, dict] = field(default_factory=dict)
 
     def busy_fractions(self) -> Dict[str, float]:
         if self.wall_seconds <= 0:
             return {}
         return {str(pid): round(busy / self.wall_seconds, 4)
                 for pid, busy in sorted(self.worker_busy.items())}
+
+    def memo_summary(self) -> dict:
+        """Pool-wide in-memory memo occupancy (summed over workers)."""
+        return {"entries": sum(m.get("entries", 0)
+                               for m in self.worker_memo.values()),
+                "bytes": sum(m.get("bytes", 0)
+                             for m in self.worker_memo.values()),
+                "evictions": sum(m.get("evictions", 0)
+                                 for m in self.worker_memo.values())}
 
     def as_dict(self) -> dict:
         return {"workers": self.workers,
@@ -255,7 +271,8 @@ class SchedulerStats:
                 "cache_served_tasks": self.cache_served_tasks,
                 "steals": self.steals,
                 "wall_seconds": round(self.wall_seconds, 6),
-                "worker_busy_fraction": self.busy_fractions()}
+                "worker_busy_fraction": self.busy_fractions(),
+                "memo": self.memo_summary()}
 
 
 def _node_error_row(node: TaskNode, message: str) -> dict:
@@ -335,6 +352,9 @@ def run_dag(sweep: SweepDAG, parallel: int,
                     seconds = outcome["seconds"]
                     stats.worker_busy[pid] = \
                         stats.worker_busy.get(pid, 0.0) + seconds
+                    memo = outcome.get("memo")
+                    if memo is not None:
+                        stats.worker_memo[pid] = memo
                     error = outcome.get("error")
                     if error is not None:
                         record_failure(node, error)

@@ -1,0 +1,75 @@
+"""Minimal urllib client for a running ``repro serve`` instance.
+
+Used by ``repro analyze --url`` and the CI smoke job; no dependencies
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+
+class ServeClientError(RuntimeError):
+    """A request the server rejected (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _request(url: str, payload: Optional[dict] = None,
+             timeout: float = 30.0) -> Any:
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except Exception:
+            message = str(exc)
+        raise ServeClientError(exc.code, message) from None
+
+
+def submit(url: str, payload: dict, timeout: float = 30.0) -> str:
+    """POST one analyze request; returns the job id."""
+    reply = _request(url.rstrip("/") + "/analyze", payload,
+                     timeout=timeout)
+    return reply["id"]
+
+
+def poll(url: str, job_id: str, timeout: float = 300.0,
+         interval: float = 0.05) -> dict:
+    """Poll one job until it finishes; returns its final record."""
+    base = url.rstrip("/")
+    deadline = time.monotonic() + timeout
+    while True:
+        record = _request(f"{base}/jobs/{job_id}")
+        if record["status"] in ("done", "error"):
+            return record
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} still {record['status']} after "
+                f"{timeout:.0f}s")
+        time.sleep(interval)
+
+
+def analyze(url: str, payload: dict, timeout: float = 300.0,
+            interval: float = 0.05) -> dict:
+    """Submit-and-poll convenience wrapper; returns the job record."""
+    return poll(url, submit(url, payload), timeout=timeout,
+                interval=interval)
+
+
+def server_stats(url: str, timeout: float = 30.0) -> dict:
+    """GET /stats."""
+    return _request(url.rstrip("/") + "/stats", timeout=timeout)

@@ -1,0 +1,372 @@
+"""The analysis service behind ``repro serve``.
+
+:class:`AnalysisService` turns the batch layer's one-shot sweep
+machinery into a long-running, shared facility: every request — a
+mini-C source or KRISC assembly plus a (policies x models) matrix —
+runs through one shared :class:`~repro.batch.cachestore.ArtifactCache`
+on a bounded thread pool, so a client that edits a function and
+re-submits pays only for the phases whose inputs actually changed.
+
+That incrementality comes from sub-program cache granularity: phase
+keys digest the call-graph-reachable *slice* of the submitted binary
+(:meth:`repro.isa.program.Program.reachable_slice`), not the whole
+image, so an edit to a function the analyzed entry never reaches — or
+to data no reachable function references — leaves every phase key of
+the re-submission identical to the cached run.
+
+Each request expands to a deduplicated :class:`~repro.batch.dag.TaskDAG`
+(two models share their point's cfg/value/loopbounds/icache/dcache
+artifacts, exactly as in a batch sweep) and drains through
+:class:`~repro.batch.scheduler._TaskContext`, so serve-computed
+artifacts live under the same keys a batch sweep or a plain
+:func:`~repro.wcet.ait.analyze_wcet` would address.  Hit/miss
+provenance per phase uses the sweep's canonical-owner attribution
+(:meth:`~repro.batch.dag.SweepDAG.row_events`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cache.config import PIPELINE_MODELS, MachineConfig
+from ..isa import assemble
+from ..isa.program import Program
+from ..lang import compile_program
+from ..wcet.ait import PHASES, build_wcet_result, phase_plan
+from ..batch.cachestore import ArtifactCache
+from ..batch.dag import SweepDAG, TaskDAG, _wrap_phase
+from ..batch.engine import _result_row
+from ..batch.jobs import JobSpec, parse_policy
+from ..batch.scheduler import _TaskContext
+
+
+class ValidationError(ValueError):
+    """A malformed analyze request (mapped to HTTP 400)."""
+
+
+_ALLOWED_FIELDS = frozenset({
+    "source", "assembly", "policies", "models", "entry",
+    "loop_bounds", "register_ranges", "label",
+})
+
+#: Main-chain dependency structure of the seven phases (mirrors
+#: :func:`repro.batch.dag._job_identities` for unannotated programs).
+_PHASE_DEPS = {
+    "cfg": (),
+    "value": ("cfg",),
+    "loopbounds": ("value",),
+    "icache": ("cfg",),
+    "dcache": ("cfg", "value"),
+    "pipeline": ("cfg", "icache", "dcache"),
+    "path": ("cfg", "pipeline", "loopbounds", "value"),
+}
+
+
+def _parse_int(value: Any, what: str) -> int:
+    if isinstance(value, bool):
+        raise ValidationError(f"{what} must be an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value, 0)
+        except ValueError:
+            pass
+    raise ValidationError(f"{what} must be an integer, got {value!r}")
+
+
+class AnalysisRequest:
+    """A validated ``POST /analyze`` payload."""
+
+    def __init__(self, payload: Any):
+        if not isinstance(payload, dict):
+            raise ValidationError("request body must be a JSON object")
+        unknown = sorted(set(payload) - _ALLOWED_FIELDS)
+        if unknown:
+            raise ValidationError(
+                f"unknown field(s): {', '.join(unknown)}; allowed: "
+                f"{', '.join(sorted(_ALLOWED_FIELDS))}")
+
+        source = payload.get("source")
+        assembly = payload.get("assembly")
+        if (source is None) == (assembly is None):
+            raise ValidationError(
+                "exactly one of 'source' (mini-C) or 'assembly' "
+                "(KRISC) is required")
+        text = source if source is not None else assembly
+        if not isinstance(text, str) or not text.strip():
+            raise ValidationError(
+                "'source'/'assembly' must be a non-empty string")
+        self.source: Optional[str] = source
+        self.assembly: Optional[str] = assembly
+
+        self.policies = self._string_list(
+            payload.get("policies"), "policies", ["full"])
+        for policy in self.policies:
+            try:
+                parse_policy(policy)
+            except ValueError as exc:
+                raise ValidationError(str(exc)) from None
+        self.models = self._string_list(
+            payload.get("models"), "models", ["additive"])
+        for model in self.models:
+            if model not in PIPELINE_MODELS:
+                raise ValidationError(
+                    f"unknown pipeline model {model!r}; expected one "
+                    f"of {', '.join(PIPELINE_MODELS)}")
+
+        entry = payload.get("entry")
+        if entry is not None and (not isinstance(entry, str)
+                                  or not entry.strip()):
+            raise ValidationError("'entry' must be a symbol name")
+        self.entry: Optional[str] = entry
+
+        self.loop_bounds: Optional[Dict[int, int]] = None
+        bounds = payload.get("loop_bounds")
+        if bounds is not None:
+            if not isinstance(bounds, dict):
+                raise ValidationError(
+                    "'loop_bounds' must be an object of ADDR -> N")
+            self.loop_bounds = {
+                _parse_int(addr, "loop-bound address"):
+                _parse_int(count, "loop bound")
+                for addr, count in bounds.items()}
+
+        self.register_ranges: Optional[Dict[int, Tuple[int, int]]] = None
+        ranges = payload.get("register_ranges")
+        if ranges is not None:
+            if not isinstance(ranges, dict):
+                raise ValidationError(
+                    "'register_ranges' must be an object of "
+                    "REG -> [LO, HI]")
+            parsed = {}
+            for register, span in ranges.items():
+                if isinstance(register, str):
+                    register = register.lstrip("Rr")
+                index = _parse_int(register, "register")
+                if not isinstance(span, (list, tuple)) or len(span) != 2:
+                    raise ValidationError(
+                        f"register range for R{index} must be "
+                        f"[LO, HI], got {span!r}")
+                parsed[index] = (_parse_int(span[0], "range low"),
+                                 _parse_int(span[1], "range high"))
+            self.register_ranges = parsed
+
+        label = payload.get("label", "request")
+        if not isinstance(label, str) or not label.strip():
+            raise ValidationError("'label' must be a non-empty string")
+        self.label = label
+
+    @staticmethod
+    def _string_list(value: Any, what: str,
+                     default: List[str]) -> List[str]:
+        if value is None:
+            return list(default)
+        if isinstance(value, str):
+            value = [value]
+        if not isinstance(value, list) or not value \
+                or not all(isinstance(item, str) for item in value):
+            raise ValidationError(
+                f"'{what}' must be a non-empty list of strings")
+        # Same dedup-preserving-order rule as the batch matrix.
+        return list(dict.fromkeys(value))
+
+    def load_program(self) -> Program:
+        if self.source is not None:
+            return compile_program(self.source)
+        return assemble(self.assembly)
+
+
+class PointPlan:
+    """Executable phase templates of one (policy, model) point.
+
+    The same shape as the worker-side :class:`~repro.batch.dag.JobPlan`
+    — a ``templates`` dict of :class:`~repro.batch.dag.ExecTemplate` —
+    which is the whole interface
+    :class:`~repro.batch.scheduler._TaskContext` needs to chain keys
+    and resolve artifacts.
+    """
+
+    def __init__(self, program: Program, request: AnalysisRequest,
+                 policy: str, model: str):
+        self.config = MachineConfig.default().with_model(model)
+        self.policy_desc = parse_policy(policy).describe()
+        entry = program.symbol_address(request.entry) \
+            if request.entry is not None else None
+        tasks = phase_plan(
+            program, entry=entry,
+            register_ranges=request.register_ranges,
+            manual_loop_bounds=request.loop_bounds,
+            context_policy=parse_policy(policy),
+            pipeline_model=model)
+        self.templates = {task.name: _wrap_phase(task.name, "", task)
+                          for task in tasks}
+
+
+class AnalysisService:
+    """Long-running WCET analysis with a shared artifact cache.
+
+    ``submit`` validates eagerly (raising :class:`ValidationError`) and
+    queues the job on a bounded thread pool; ``job`` polls its record.
+    All jobs share one :class:`ArtifactCache` whose in-memory memo is
+    LRU-bounded, so the process neither recomputes unchanged phases nor
+    grows without limit.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 workers: int = 2,
+                 salt: Optional[str] = None,
+                 cache_limit_mb: Optional[float] = None,
+                 memo_entries: Optional[int] =
+                 ArtifactCache.MEMO_ENTRY_LIMIT,
+                 memo_bytes: Optional[int] =
+                 ArtifactCache.MEMO_BYTE_LIMIT):
+        limit_bytes = int(cache_limit_mb * 1024 * 1024) \
+            if cache_limit_mb is not None else None
+        self.cache = ArtifactCache(cache_dir, salt=salt,
+                                   limit_bytes=limit_bytes,
+                                   memo_entries=memo_entries,
+                                   memo_bytes=memo_bytes)
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._jobs: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._started = time.monotonic()
+
+    # -- Public API ---------------------------------------------------------
+
+    def submit(self, payload: Any) -> str:
+        """Validate ``payload`` and queue the analysis; returns the job
+        id.  Raises :class:`ValidationError` on a malformed request."""
+        request = AnalysisRequest(payload)
+        job_id = f"job-{next(self._ids)}"
+        with self._lock:
+            self._jobs[job_id] = {"id": job_id, "status": "pending",
+                                  "label": request.label}
+        self._pool.submit(self._run, job_id, request)
+        return job_id
+
+    def job(self, job_id: str) -> Optional[dict]:
+        """A JSON-able snapshot of one job's record, or ``None``."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return dict(record) if record is not None else None
+
+    def stats(self) -> dict:
+        """Service-level counters for ``GET /stats``."""
+        with self._lock:
+            statuses = [record["status"]
+                        for record in self._jobs.values()]
+        return {
+            "workers": self.workers,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "jobs": {"total": len(statuses),
+                     "pending": statuses.count("pending"),
+                     "running": statuses.count("running"),
+                     "done": statuses.count("done"),
+                     "error": statuses.count("error")},
+            "cache": {"hits": self.cache.hits,
+                      "misses": self.cache.misses,
+                      "hit_ratio": round(self.cache.hit_ratio(), 4),
+                      "evictions": self.cache.evictions,
+                      "memo": self.cache.memo_stats()},
+        }
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    # -- Execution ----------------------------------------------------------
+
+    def _run(self, job_id: str, request: AnalysisRequest) -> None:
+        with self._lock:
+            self._jobs[job_id]["status"] = "running"
+        try:
+            outcome = self._analyze(request)
+        except Exception as exc:
+            update = {"status": "error",
+                      "error": f"{type(exc).__name__}: {exc}"}
+        else:
+            update = {"status": "done", **outcome}
+        with self._lock:
+            self._jobs[job_id].update(update)
+
+    def _analyze(self, request: AnalysisRequest) -> dict:
+        start = time.perf_counter()
+        compile_start = time.perf_counter()
+        program = request.load_program()
+        compile_seconds = time.perf_counter() - compile_start
+
+        points = [(policy, model) for policy in request.policies
+                  for model in request.models]
+        specs = [JobSpec(request.label, policy, model)
+                 for policy, model in points]
+        plans = [PointPlan(program, request, policy, model)
+                 for policy, model in points]
+        contexts = [_TaskContext(plan, self.cache) for plan in plans]
+
+        # One deduplicated DAG per request: both models of a policy
+        # share every model-independent phase node, so provenance and
+        # work match a batch sweep of the same matrix.
+        dag = TaskDAG()
+        job_phase_nodes: List[Dict[str, Any]] = []
+        for index, (spec, plan) in enumerate(zip(specs, plans)):
+            by_template: Dict[str, Any] = {}
+            for phase in PHASES:
+                identity: Tuple = (phase, plan.policy_desc)
+                if phase in ("pipeline", "path"):
+                    identity += (spec.model,)
+                by_template[phase] = dag.add_node(
+                    identity, f"{spec.job_id}:{phase}", "phase", spec,
+                    phase, [by_template[dep]
+                            for dep in _PHASE_DEPS[phase]], index)
+            job_phase_nodes.append(by_template)
+        sweep = SweepDAG(specs, dag, [None] * len(specs),
+                         job_phase_nodes, {})
+
+        # Drain the DAG in this pool thread (cross-request concurrency
+        # comes from the service pool; the shared cache makes artifacts
+        # visible across requests the moment they are stored).
+        ready = dag.start()
+        while ready:
+            node = ready.pop(0)
+            owner = node.refs[0][0]
+            phase_start = time.perf_counter()
+            computed = contexts[owner].ensure(node.template)
+            dag.complete(node, computed=computed,
+                         seconds=time.perf_counter() - phase_start)
+            ready.extend(dag.pop_ready())
+
+        rows = []
+        for index, (spec, plan, context) in enumerate(
+                zip(specs, plans, contexts)):
+            row_start = time.perf_counter()
+            artifacts = {}
+            phase_seconds = {}
+            for phase in PHASES:
+                value_start = time.perf_counter()
+                artifacts[phase] = context.value_of(phase)
+                phase_seconds[phase] = \
+                    time.perf_counter() - value_start
+            result = build_wcet_result(program, plan.config, artifacts,
+                                       phase_seconds,
+                                       sweep.row_events(index))
+            rows.append(_result_row(
+                spec, result, time.perf_counter() - row_start))
+
+        hits = sum(row["cache"]["hits"] for row in rows)
+        misses = sum(row["cache"]["misses"] for row in rows)
+        total = hits + misses
+        return {
+            "rows": rows,
+            "compile_seconds": round(compile_seconds, 6),
+            "wall_seconds": round(time.perf_counter() - start, 6),
+            "cache": {"hits": hits, "misses": misses,
+                      "hit_ratio": round(hits / total, 4)
+                      if total else 0.0},
+        }

@@ -224,7 +224,14 @@ def _cache_config_material(config: CacheConfig) -> str:
 def material_cfg(program: Program, entry: Optional[int],
                  indirect_targets: Optional[Dict[int, Sequence[int]]],
                  policy: ContextPolicy) -> str:
-    return (f"cfg|{program.content_digest()}|entry={entry}"
+    # Keyed on the call-graph-reachable *code slice* rather than the
+    # monolithic content digest: editing a function the analyzed entry
+    # never reaches leaves this key — and through it every downstream
+    # phase key — stable.  reachable_slice() degrades to a
+    # content_digest()-derived key whenever its scan is imprecise, so
+    # this is never a weaker key than the whole-image one it replaced.
+    code_slice = program.reachable_slice(entry, indirect_targets).code
+    return (f"cfg|{code_slice}|entry={entry}"
             f"|indirect={_mapping_material(indirect_targets)}"
             f"|policy={policy.describe()}")
 
@@ -233,14 +240,19 @@ def material_value(cfg_key: str, domain: Type[AbstractValue],
                    register_ranges: Optional[Dict[int, Tuple[int, int]]],
                    narrowing_passes: int, use_widening_thresholds: bool,
                    memory_ranges: Optional[Dict[int, Tuple[int, int]]],
-                   effective_impl: str) -> str:
+                   effective_impl: str, data_digest: str) -> str:
+    # The value phase is the only one that reads initial data memory,
+    # so it alone carries the data-slice digest: a data-only edit
+    # invalidates value and its dependents while cfg/icache keep their
+    # keys (and their cached artifacts).
     return (f"value|{cfg_key}"
             f"|domain={domain.__module__}.{domain.__qualname__}"
             f"|regs={_mapping_material(register_ranges)}"
             f"|narrow={narrowing_passes}"
             f"|wthresh={use_widening_thresholds}"
             f"|mem={_mapping_material(memory_ranges)}"
-            f"|impl={effective_impl}")
+            f"|impl={effective_impl}"
+            f"|data={data_digest}")
 
 
 def material_loopbounds(value_key: str,
@@ -355,11 +367,16 @@ def phase_plan(program: Program,
 
     def compute_value(deps):
         _, graph = deps["cfg"]
+        # Pass the submitted program explicitly: a cached cfg artifact
+        # embeds the Program it was built from, which under slice-based
+        # keys may be an *older* binary with identical reachable code
+        # but different data — its initial_memory() would be stale.
         return analyze_values(
             graph, domain=domain, register_ranges=register_ranges,
             narrowing_passes=narrowing_passes,
             use_widening_thresholds=use_widening_thresholds,
-            memory_ranges=memory_ranges, domain_impl=value_impl)
+            memory_ranges=memory_ranges, domain_impl=value_impl,
+            program=program)
 
     def compute_icache(deps):
         _, graph = deps["cfg"]
@@ -391,7 +408,8 @@ def phase_plan(program: Program,
             "value", ("cfg",),
             lambda keys: material_value(
                 keys["cfg"], domain, register_ranges, narrowing_passes,
-                use_widening_thresholds, memory_ranges, value_impl),
+                use_widening_thresholds, memory_ranges, value_impl,
+                program.reachable_slice(entry, indirect_targets).data),
             compute_value),
         loopbounds_task(manual_loop_bounds),
         PhaseTask(

@@ -58,6 +58,32 @@ def test_bad_matrix_components_are_rejected(bad):
         expand_matrix(bad)
 
 
+def test_repeated_matrix_tokens_dedupe_preserving_order():
+    assert expand_matrix("fibcall,fibcall:full:additive") == [
+        JobSpec("fibcall", "full", "additive")]
+    assert expand_matrix("bs,fibcall,bs:full:additive") == [
+        JobSpec("bs", "full", "additive"),
+        JobSpec("fibcall", "full", "additive")]
+    assert expand_matrix("fibcall:full,vivu,full:krisc5") == [
+        JobSpec("fibcall", "full", "krisc5"),
+        JobSpec("fibcall", "vivu", "krisc5")]
+    assert expand_matrix(
+        "fibcall:full:additive,additive,krisc5") == [
+        JobSpec("fibcall", "full", "additive"),
+        JobSpec("fibcall", "full", "krisc5")]
+
+
+@pytest.mark.parametrize("bad,component", [
+    ("all,fibcall:full:additive", "workloads"),
+    ("fibcall:all,full:additive", "policies"),
+    ("fibcall:full:all,additive", "models"),
+])
+def test_all_inside_comma_list_is_rejected_clearly(bad, component):
+    with pytest.raises(ValueError, match=f"'all' cannot be combined "
+                                         f"with explicit {component}"):
+        expand_matrix(bad)
+
+
 def test_policy_tokens():
     assert isinstance(parse_policy("full"), FullCallString)
     assert parse_policy("klimited").k == 2
@@ -152,6 +178,30 @@ def test_code_version_salt_is_stable_and_hex():
     assert salt == code_version_salt()
     assert len(salt) == 64
     int(salt, 16)
+
+
+def test_process_cache_normalizes_default_salt(tmp_path):
+    # A worker asked for the default salt (None) and one asked for the
+    # explicit code-version salt must share the same memoised cache:
+    # they address identical keys.
+    from repro.batch.engine import _process_cache
+    implicit = _process_cache(str(tmp_path), None, True)
+    explicit = _process_cache(str(tmp_path), code_version_salt(), True)
+    assert implicit is explicit
+
+
+def test_run_job_reports_compile_time_separately(tmp_path):
+    from repro.batch.engine import run_job
+    cache = ArtifactCache(str(tmp_path))
+    spec = JobSpec("fibcall", "full", "additive")
+    row = run_job(spec, cache=cache)
+    assert "compile_seconds" in row
+    assert row["compile_seconds"] >= 0.0
+    assert row["wall_seconds"] >= 0.0
+    # A memoised program compiles for free on the warm run.
+    warm = run_job(spec, cache=cache)
+    assert warm["compile_seconds"] == 0.0
+    assert warm["wcet_cycles"] == row["wcet_cycles"]
 
 
 def test_program_content_digest():

@@ -37,6 +37,7 @@ def strip_timing(rows):
     for row in copy.deepcopy(rows):
         row.pop("wall_seconds", None)
         row.pop("phase_seconds", None)
+        row.pop("compile_seconds", None)
         stripped.append(row)
     return stripped
 
