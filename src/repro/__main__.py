@@ -124,11 +124,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
                         merge_golden, save_golden)
     from .workloads.suite import sweep_suite
 
+    scheduler_options = {}
+    if args.task_retries is not None:
+        scheduler_options["max_task_retries"] = args.task_retries
+    if args.pool_rebuilds is not None:
+        scheduler_options["max_pool_rebuilds"] = args.pool_rebuilds
     result = sweep_suite(args.matrix, parallel=args.jobs,
                          cache_dir=args.cache_dir,
                          use_cache=not args.no_cache,
                          jsonl_path=args.jsonl,
-                         cache_limit_mb=args.cache_limit_mb)
+                         cache_limit_mb=args.cache_limit_mb,
+                         **scheduler_options)
     jobs = result.jobs
 
     header = (f"{'workload':<12} {'policy':<12} {'model':<9} "
@@ -163,6 +169,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
               f"{scheduler['cache_served_tasks']} cache-served; "
               f"{scheduler['steals']} steals; "
               f"worker busy: {busy_text}")
+        if scheduler["retries"] or scheduler["pool_rebuilds"] \
+                or scheduler["degraded_tasks"] \
+                or scheduler["quarantined"]:
+            print(f"fault tolerance: {scheduler['retries']} retries, "
+                  f"{scheduler['pool_rebuilds']} pool rebuilds, "
+                  f"{scheduler['degraded_tasks']} tasks run degraded "
+                  f"in-process, {scheduler['quarantined']} artifacts "
+                  f"quarantined")
     if args.jsonl:
         print(f"results written to {args.jsonl}")
 
@@ -198,6 +212,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
             failures.append(f"scheduler deduplicated {deduped} phase "
                             f"tasks, below required {args.min_dedup} "
                             f"(cross-job sharing not exercised)")
+    if args.min_retries is not None:
+        retries = scheduler["retries"] if scheduler else 0
+        if retries < args.min_retries:
+            failures.append(f"scheduler retried {retries} tasks, below "
+                            f"required {args.min_retries} (fault "
+                            f"injection not exercised)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -217,16 +237,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.memo_mb <= 0:
             raise SystemExit("--memo-mb must be positive")
         memo_kwargs["memo_bytes"] = int(args.memo_mb * 1024 * 1024)
+    if args.max_jobs is not None and args.max_jobs <= 0:
+        raise SystemExit("--max-jobs must be positive")
+    if args.max_jobs is not None:
+        memo_kwargs["max_jobs"] = args.max_jobs
     service = AnalysisService(cache_dir=args.cache_dir,
                               workers=args.workers,
                               cache_limit_mb=args.cache_limit_mb,
+                              journal_dir=args.journal,
                               **memo_kwargs)
     server = AnalysisServer((args.host, args.port), service)
     host, port = server.server_address[:2]
     print(f"repro serve listening on http://{host}:{port} "
           f"({args.workers} worker"
           f"{'s' if args.workers != 1 else ''}, cache: "
-          f"{args.cache_dir or 'in-memory'})", flush=True)
+          f"{args.cache_dir or 'in-memory'}, journal: "
+          f"{args.journal or 'off'})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -402,6 +428,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "deduplicated at least N phase tasks "
                              "(CI cross-job sharing guard; needs "
                              "--jobs > 1 and caching enabled)")
+    p_batch.add_argument("--min-retries", type=int, default=None,
+                        metavar="N",
+                        help="fail unless the DAG scheduler retried "
+                             "at least N tasks (CI chaos guard; pair "
+                             "with $REPRO_FAULTS)")
+    p_batch.add_argument("--task-retries", type=int, default=None,
+                        metavar="N",
+                        help="per-task retry budget before a task "
+                             "becomes an error row (default 2)")
+    p_batch.add_argument("--pool-rebuilds", type=int, default=None,
+                        metavar="N",
+                        help="worker-pool rebuilds after pool death "
+                             "before degrading to in-process "
+                             "execution (default 3)")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -426,6 +466,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                          metavar="MB",
                          help="bound the in-memory artifact memo by "
                               "size (default 512)")
+    p_serve.add_argument("--journal", default=None, metavar="DIR",
+                         help="durable job-lifecycle journal directory;"
+                              " a restarted server replays finished "
+                              "jobs and marks in-flight ones "
+                              "interrupted")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         metavar="N",
+                         help="bound the in-memory job table; oldest "
+                              "finished records evict past N "
+                              "(default 256)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_an = sub.add_parser(

@@ -19,8 +19,12 @@ On-disk layout under the cache root::
 Writes go through a temporary file followed by :func:`os.replace`, so
 concurrent worker processes can share one cache directory: the worst
 race is two processes computing the same artifact and one overwriting
-the other with identical bytes (last-writer-wins).  Unreadable or
-stale objects are treated as misses and recomputed.
+the other with identical bytes (last-writer-wins).  A vanished object
+is a plain miss; an object that *exists but does not unpickle*
+(truncated write, bit rot, injected corruption) is a **quarantine
+event**: the file moves to ``quarantine/`` under the cache root, the
+``quarantined`` counter ticks, and the phase recomputes — corruption
+is observable, never a silent miss or a wrong artifact.
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ import tempfile
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
+
+from .. import faults
 
 _SALT_CACHE: Optional[str] = None
 
@@ -102,6 +108,7 @@ class ArtifactCache:
         self.misses = 0
         self.evictions = 0
         self.memo_evictions = 0
+        self.quarantined = 0
         self._memory: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._memory_bytes = 0
         self._lock = threading.RLock()
@@ -126,12 +133,16 @@ class ArtifactCache:
             try:
                 with open(path, "rb") as handle:
                     value = pickle.load(handle)
-            except Exception:
-                # Missing, truncated, or stale (e.g. written by an
-                # incompatible pickle) object: recompute.  A file a
-                # concurrent worker's eviction deleted mid-read lands
-                # here too — the phase is simply recomputed.
+            except FileNotFoundError:
+                # Never written, or evicted by a concurrent worker:
+                # a plain miss, the phase is simply recomputed.
                 pass
+            except Exception:
+                # The object exists but does not deserialise —
+                # truncated write, bit rot, or an incompatible pickle.
+                # Quarantine it so corruption stays observable (and
+                # the broken bytes stop shadowing recomputed ones).
+                self._quarantine(path)
             else:
                 try:
                     # Freshen the mtime so a bounded store evicts
@@ -165,6 +176,8 @@ class ArtifactCache:
         if self.root is None or payload is None:
             return
         try:
+            faults.check_disk_full()
+            payload = faults.corrupt_payload(payload)
             path = self._object_path(key)
             directory = os.path.dirname(path)
             os.makedirs(directory, exist_ok=True)
@@ -220,6 +233,21 @@ class ArtifactCache:
                 "limit_bytes": self.memo_bytes,
                 "evictions": self.memo_evictions,
             }
+
+    def _quarantine(self, path: str) -> None:
+        """Move one undeserialisable object into ``quarantine/`` under
+        the cache root and count the event.  Racing a concurrent
+        worker (the file vanishing mid-move) degrades to a no-op —
+        either way the broken bytes no longer answer lookups."""
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(path, os.path.join(quarantine_dir,
+                                          os.path.basename(path)))
+        except OSError:
+            return
+        with self._lock:
+            self.quarantined += 1
 
     def _evict_if_needed(self, protect: Optional[str] = None) -> None:
         """Drop oldest on-disk objects (by mtime) until the store fits

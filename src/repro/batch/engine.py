@@ -191,7 +191,10 @@ def run_sweep(jobs: List[JobSpec],
               use_cache: bool = True,
               salt: Optional[str] = None,
               jsonl_path: Optional[str] = None,
-              cache_limit_mb: Optional[float] = None) -> SweepResult:
+              cache_limit_mb: Optional[float] = None,
+              max_task_retries: int = dag_scheduler.DEFAULT_TASK_RETRIES,
+              max_pool_rebuilds: int =
+              dag_scheduler.DEFAULT_POOL_REBUILDS) -> SweepResult:
     """Run every job of the sweep and collect rows in job order.
 
     ``parallel`` > 1 schedules the sweep as a deduplicated phase-task
@@ -207,6 +210,10 @@ def run_sweep(jobs: List[JobSpec],
     ``cache_limit_mb`` bounds the on-disk store: after each write the
     least-recently-used objects are evicted until the store fits;
     workers treat objects evicted under them as misses and recompute.
+    ``max_task_retries`` / ``max_pool_rebuilds`` bound the DAG
+    scheduler's fault tolerance (task retry with backoff, dead-pool
+    rebuild, then degraded in-process execution; see
+    :func:`repro.batch.scheduler.run_dag`).
     """
     start = time.perf_counter()
     limit_bytes = int(cache_limit_mb * 1024 * 1024) \
@@ -232,7 +239,9 @@ def run_sweep(jobs: List[JobSpec],
         try:
             rows, stats = dag_scheduler.run_dag(
                 sweep_dag, parallel=parallel, cache_dir=store_dir,
-                salt=salt, limit_bytes=limit_bytes)
+                salt=salt, limit_bytes=limit_bytes,
+                max_task_retries=max_task_retries,
+                max_pool_rebuilds=max_pool_rebuilds)
         finally:
             if spill is not None:
                 spill.cleanup()

@@ -11,15 +11,22 @@ store (:mod:`repro.batch.cachestore`); a vanished object — e.g. an
 eviction by a concurrent worker under ``--cache-limit-mb`` — is
 treated as a miss and recomputed transitively, never raised.
 
-Failure handling: a task that raises fails its transitive dependents
-and turns the affected jobs into error rows; a dead worker
-(``BrokenProcessPool``) aborts the remaining schedule the same way
-instead of crashing the sweep.
+Failure handling is *healing*, not aborting: a task that errors is
+retried with exponential backoff up to a per-task budget before its
+transitive dependents fail into error rows; a dead worker
+(``BrokenProcessPool``) triggers a bounded number of pool *rebuilds*
+with the in-flight tasks resubmitted; and once the rebuild budget is
+spent the scheduler degrades to in-process sequential execution of
+the remaining ready queue — slower, but every row still completes
+with bit-identical bounds.  The retry/rebuild/degraded counters land
+in :class:`SchedulerStats`.
 """
 
 from __future__ import annotations
 
 import functools
+import heapq
+import itertools
 import multiprocessing
 import os
 import time
@@ -28,6 +35,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import faults
 from ..domainimpl import resolve_domain_impl
 from ..isa.program import Program
 from ..wcet.ait import PHASES, build_wcet_result
@@ -35,6 +43,14 @@ from ..workloads.suite import get_workload
 from .cachestore import ArtifactCache, code_version_salt
 from .dag import JobPlan, SweepDAG, TaskNode
 from .jobs import JobSpec
+
+#: Default fault-tolerance budgets: how often one task may fail before
+#: its jobs become error rows, how often a broken pool is rebuilt
+#: before degrading to in-process execution, and the base of the
+#: exponential retry backoff.
+DEFAULT_TASK_RETRIES = 2
+DEFAULT_POOL_REBUILDS = 3
+DEFAULT_RETRY_BACKOFF = 0.05
 
 # -- Worker-side state -----------------------------------------------------------
 #
@@ -161,6 +177,7 @@ def _phase_task(payload: Tuple[JobSpec, str, Optional[str],
                                Optional[str], Optional[int],
                                Optional[str]]) -> dict:
     """Pool task: ensure one phase artifact exists in the store."""
+    faults.worker_task_started()
     spec, template, cache_dir, salt, limit_bytes, impl = payload
     start = time.perf_counter()
     plan = _plan_for(spec, impl)
@@ -169,6 +186,7 @@ def _phase_task(payload: Tuple[JobSpec, str, Optional[str],
     computed = context.ensure(template)
     return {"pid": os.getpid(), "computed": computed,
             "memo": cache.memo_stats(),
+            "quarantined": cache.quarantined,
             "seconds": time.perf_counter() - start}
 
 
@@ -185,6 +203,7 @@ def _row_task(payload: Tuple[JobSpec, Dict[str, str], Optional[str],
     """
     from .engine import _result_row
 
+    faults.worker_task_started()
     spec, events, cache_dir, salt, limit_bytes, impl = payload
     start = time.perf_counter()
     plan = _plan_for(spec, impl)
@@ -202,6 +221,7 @@ def _row_task(payload: Tuple[JobSpec, Dict[str, str], Optional[str],
     row = _result_row(spec, result, time.perf_counter() - start)
     return {"pid": os.getpid(), "row": row,
             "memo": cache.memo_stats(),
+            "quarantined": cache.quarantined,
             "seconds": time.perf_counter() - start}
 
 
@@ -211,6 +231,7 @@ def _job_task(payload: Tuple[JobSpec]) -> dict:
     artifact transport (nothing to share without a store)."""
     from .engine import run_job
 
+    faults.worker_task_started()
     (spec,) = payload
     start = time.perf_counter()
     row = run_job(spec, None)
@@ -241,11 +262,21 @@ class SchedulerStats:
     computed_tasks: int = 0
     cache_served_tasks: int = 0
     steals: int = 0
+    #: task re-executions: error-payload retries plus resubmissions of
+    #: tasks that were in flight when the pool died.
+    retries: int = 0
+    #: times a BrokenProcessPool was replaced with a fresh pool.
+    pool_rebuilds: int = 0
+    #: tasks executed in-process after the rebuild budget ran out
+    #: (0 = the sweep never degraded).
+    degraded_tasks: int = 0
     wall_seconds: float = 0.0
     #: worker pid -> seconds spent executing tasks.
     worker_busy: Dict[int, float] = field(default_factory=dict)
     #: worker pid -> latest ArtifactCache.memo_stats() snapshot.
     worker_memo: Dict[int, dict] = field(default_factory=dict)
+    #: worker pid -> latest cumulative quarantine count of its cache.
+    worker_quarantined: Dict[int, int] = field(default_factory=dict)
 
     def busy_fractions(self) -> Dict[str, float]:
         if self.wall_seconds <= 0:
@@ -262,6 +293,11 @@ class SchedulerStats:
                 "evictions": sum(m.get("evictions", 0)
                                  for m in self.worker_memo.values())}
 
+    @property
+    def quarantined(self) -> int:
+        """Pool-wide quarantine events (summed over worker caches)."""
+        return sum(self.worker_quarantined.values())
+
     def as_dict(self) -> dict:
         return {"workers": self.workers,
                 "phase_refs": self.phase_refs,
@@ -270,6 +306,10 @@ class SchedulerStats:
                 "computed_tasks": self.computed_tasks,
                 "cache_served_tasks": self.cache_served_tasks,
                 "steals": self.steals,
+                "retries": self.retries,
+                "pool_rebuilds": self.pool_rebuilds,
+                "degraded_tasks": self.degraded_tasks,
+                "quarantined": self.quarantined,
                 "wall_seconds": round(self.wall_seconds, 6),
                 "worker_busy_fraction": self.busy_fractions(),
                 "memo": self.memo_summary()}
@@ -285,12 +325,21 @@ def run_dag(sweep: SweepDAG, parallel: int,
             cache_dir: Optional[str] = None,
             salt: Optional[str] = None,
             limit_bytes: Optional[int] = None,
-            domain_impl: Optional[str] = None
+            domain_impl: Optional[str] = None,
+            max_task_retries: int = DEFAULT_TASK_RETRIES,
+            max_pool_rebuilds: int = DEFAULT_POOL_REBUILDS,
+            retry_backoff_seconds: float = DEFAULT_RETRY_BACKOFF
             ) -> Tuple[List[dict], SchedulerStats]:
     """Execute the sweep DAG on a pool of ``parallel`` workers.
 
     Returns rows in job order (error rows for failed jobs) and the
-    scheduler's statistics.
+    scheduler's statistics.  A task that errors is retried up to
+    ``max_task_retries`` times with exponential backoff
+    (``retry_backoff_seconds * 2**attempt``) before failing its jobs;
+    a dead pool is rebuilt up to ``max_pool_rebuilds`` times with the
+    in-flight tasks resubmitted, and past that budget the remaining
+    schedule runs in-process sequentially (degraded mode) so every
+    row still completes.
     """
     start = time.perf_counter()
     impl = resolve_domain_impl(domain_impl)
@@ -325,66 +374,149 @@ def run_dag(sweep: SweepDAG, parallel: int,
                 rows[failed_index] = _node_error_row(failed,
                                                      failed.error)
 
+    # Retry machinery: attempts counts error-payload failures per node
+    # (kills don't burn the budget — the culprit can't be identified);
+    # deferred holds backoff-delayed resubmissions as (ready-time,
+    # tiebreak, node).
+    attempts: Dict[int, int] = {}
+    deferred: List[Tuple[float, int, TaskNode]] = []
+    deferred_seq = itertools.count()
+
+    def retry_or_fail(node: TaskNode, message: str) -> None:
+        count = attempts.get(node.index, 0)
+        if count >= max_task_retries:
+            record_failure(node, f"{message} (task failed "
+                                 f"{count + 1} times)")
+            return
+        attempts[node.index] = count + 1
+        stats.retries += 1
+        delay = retry_backoff_seconds * (2 ** count)
+        heapq.heappush(deferred, (time.monotonic() + delay,
+                                  next(deferred_seq), node))
+
+    def absorb(node: TaskNode, outcome: dict) -> List[TaskNode]:
+        """Book one returned task payload; error payloads go through
+        the retry budget.  Returns the newly-released dependents."""
+        pid = outcome["pid"]
+        seconds = outcome["seconds"]
+        stats.worker_busy[pid] = \
+            stats.worker_busy.get(pid, 0.0) + seconds
+        memo = outcome.get("memo")
+        if memo is not None:
+            stats.worker_memo[pid] = memo
+        quarantined = outcome.get("quarantined")
+        if quarantined is not None:
+            stats.worker_quarantined[pid] = quarantined
+        error = outcome.get("error")
+        if error is not None:
+            retry_or_fail(node, error)
+            return []
+        if node.deps:
+            handoff = max(node.deps,
+                          key=lambda dep: dep.finish_order or 0)
+            if handoff.worker is not None and handoff.worker != pid:
+                stats.steals += 1
+        computed = outcome.get("computed")
+        if node.kind in ("phase", "annotate"):
+            if computed:
+                stats.computed_tasks += 1
+            else:
+                stats.cache_served_tasks += 1
+        else:
+            rows[job_index_of(node)] = outcome["row"]
+        return dag.complete(node, computed=computed, seconds=seconds,
+                            worker=pid)
+
+    def run_inline(crashed: List[TaskNode]) -> None:
+        """Degraded mode: drain the remaining schedule in-process.
+
+        Worker-kill fault injection never fires in this process (see
+        :func:`repro.faults.worker_task_started`), so a sweep whose
+        pool keeps dying still terminates with complete rows.
+        """
+        queue = [node.index for node in crashed]
+        heapq.heapify(queue)
+        while queue or deferred:
+            now = time.monotonic()
+            while deferred and deferred[0][0] <= now:
+                _, _, node = heapq.heappop(deferred)
+                heapq.heappush(queue, node.index)
+            if not queue:
+                time.sleep(max(0.0, deferred[0][0] - now))
+                continue
+            node = dag.nodes[heapq.heappop(queue)]
+            function, payload = payload_for(node)
+            stats.degraded_tasks += 1
+            for released in absorb(node, function(payload)):
+                heapq.heappush(queue, released.index)
+
+    pending_submit: List[TaskNode] = dag.start()
+    rebuilds_left = max_pool_rebuilds
     futures: Dict[Any, TaskNode] = {}
-    with ProcessPoolExecutor(max_workers=parallel,
-                             mp_context=_pool_context()) as pool:
-
-        def submit(nodes: List[TaskNode]) -> None:
-            for node in nodes:
-                function, payload = payload_for(node)
-                futures[pool.submit(function, payload)] = node
-
+    while True:                         # one iteration per pool lifetime
+        futures.clear()
         try:
-            submit(dag.start())
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    node = futures.pop(future)
-                    try:
-                        outcome = future.result()
-                    except BrokenProcessPool:
-                        raise
-                    except Exception as exc:
-                        record_failure(
-                            node, f"{type(exc).__name__}: {exc}")
+            with ProcessPoolExecutor(max_workers=parallel,
+                                     mp_context=_pool_context()) as pool:
+
+                def submit_pending() -> None:
+                    # One at a time so a submit() that raises (broken
+                    # pool) leaves the unsubmitted rest in
+                    # pending_submit for the crash handler.
+                    while pending_submit:
+                        node = pending_submit[0]
+                        function, payload = payload_for(node)
+                        futures[pool.submit(function, payload)] = node
+                        pending_submit.pop(0)
+
+                submit_pending()
+                while futures or deferred:
+                    now = time.monotonic()
+                    while deferred and deferred[0][0] <= now:
+                        _, _, node = heapq.heappop(deferred)
+                        pending_submit.append(node)
+                    submit_pending()
+                    if not futures:
+                        # Everything left is waiting out a backoff.
+                        time.sleep(max(0.0,
+                                       deferred[0][0] - time.monotonic()))
                         continue
-                    pid = outcome["pid"]
-                    seconds = outcome["seconds"]
-                    stats.worker_busy[pid] = \
-                        stats.worker_busy.get(pid, 0.0) + seconds
-                    memo = outcome.get("memo")
-                    if memo is not None:
-                        stats.worker_memo[pid] = memo
-                    error = outcome.get("error")
-                    if error is not None:
-                        record_failure(node, error)
-                        continue
-                    if node.deps:
-                        handoff = max(node.deps,
-                                      key=lambda dep:
-                                      dep.finish_order or 0)
-                        if handoff.worker is not None \
-                                and handoff.worker != pid:
-                            stats.steals += 1
-                    computed = outcome.get("computed")
-                    if node.kind in ("phase", "annotate"):
-                        if computed:
-                            stats.computed_tasks += 1
-                        else:
-                            stats.cache_served_tasks += 1
-                    else:
-                        rows[job_index_of(node)] = outcome["row"]
-                    submit(dag.complete(node, computed=computed,
-                                        seconds=seconds, worker=pid))
-        except BrokenProcessPool as exc:
-            message = (f"worker pool died: {type(exc).__name__}: "
-                       f"{exc}" if str(exc) else
-                       f"worker pool died: {type(exc).__name__}")
-            for future in list(futures):
-                futures.pop(future)
-            for node in dag.unfinished():
-                if node.state != "failed":
-                    record_failure(node, message)
+                    timeout = max(0.0, deferred[0][0] - now) \
+                        if deferred else None
+                    done, _ = wait(futures, timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+                    for future in done:
+                        node = futures.pop(future)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            # Hand the node back so the crash handler
+                            # counts it as in-flight.
+                            futures[future] = node
+                            raise
+                        except Exception as exc:
+                            retry_or_fail(
+                                node, f"{type(exc).__name__}: {exc}")
+                            continue
+                        pending_submit.extend(absorb(node, outcome))
+                        submit_pending()
+            break                       # fully drained
+        except BrokenProcessPool:
+            # Everything in flight (or queued behind the broken
+            # submit) gets re-executed: on a fresh pool while the
+            # rebuild budget lasts, in-process afterwards.
+            crashed = sorted(set(futures.values())
+                             | set(pending_submit),
+                             key=lambda node: node.index)
+            futures.clear()
+            pending_submit = crashed
+            stats.retries += len(crashed)
+            if rebuilds_left > 0:
+                rebuilds_left -= 1
+                stats.pool_rebuilds += 1
+                continue
+            run_inline(pending_submit)
+            break
 
     for node in dag.unfinished():
         # Nodes stranded by an abort that fail() already visited have

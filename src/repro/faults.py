@@ -1,0 +1,198 @@
+"""Deterministic fault injection for chaos testing.
+
+The paper's tool chain targets safety-critical validation flows, where
+the analysis *infrastructure* has to degrade gracefully — a dead
+worker, a truncated cache object, or a full disk must cost redundant
+work, never a wrong bound or a hung sweep.  This module is the switch
+that lets tests (and the CI chaos-smoke job) prove it: set
+
+    REPRO_FAULTS=worker_kill:0.2,corrupt_artifact:0.1,slow_task:0.05
+
+and the named faults fire probabilistically at their injection sites:
+
+``worker_kill``
+    a pool worker ``os._exit``\\ s at task start (the parent process is
+    never killed, so degraded in-process execution always terminates),
+``corrupt_artifact``
+    :class:`~repro.batch.cachestore.ArtifactCache` truncates the
+    pickled payload it writes to disk (the in-memory copy stays good,
+    so corruption surfaces on *cold* lookups — exactly the cross-worker
+    and cross-restart reads quarantining exists for),
+``slow_task``
+    a worker task sleeps ``REPRO_FAULTS_SLOW_SECONDS`` (default 50 ms)
+    before running, widening scheduling races,
+``disk_full``
+    the cache's disk write raises ``OSError(ENOSPC)``, exercising the
+    degrade-to-uncached path.
+
+Rolls come from one :class:`random.Random` seeded by
+``REPRO_FAULTS_SEED`` (default 0) per *process*: a forked pool worker
+re-seeds on first use (the inherited parent state is discarded when the
+pid changes), so every worker replays the same deterministic roll
+sequence for a given seed — rates are reproducible, not flaky.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+from typing import Dict, Optional
+
+#: Fault kinds understood by :func:`parse_faults`, with their sites.
+FAULT_KINDS = ("worker_kill", "corrupt_artifact", "slow_task",
+               "disk_full")
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULTS_SEED"
+ENV_SLOW_SECONDS = "REPRO_FAULTS_SLOW_SECONDS"
+
+#: Exit code of an injected worker kill (recognisable in waitpid logs).
+KILL_EXIT_CODE = 43
+
+#: The pid that imported this module — in a fork-based worker pool that
+#: is the *parent*, so a worker (different pid, inherited module state)
+#: is killable while the orchestrating process never is.  A spawn-based
+#: worker imports the module fresh and records its own pid, making
+#: ``worker_kill`` a no-op there; the chaos tests require fork anyway.
+_IMPORT_PID = os.getpid()
+
+
+class FaultPlan:
+    """Parsed fault rates plus the per-process roll state."""
+
+    def __init__(self, rates: Dict[str, float], seed: int = 0):
+        unknown = sorted(set(rates) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s): {', '.join(unknown)}; "
+                f"expected one of {', '.join(FAULT_KINDS)}")
+        for kind, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"fault rate for {kind} must be in [0, 1], "
+                    f"got {rate!r}")
+        self.rates = dict(rates)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: kind -> number of times the fault actually fired (this
+        #: process only).
+        self.injected: Dict[str, int] = {kind: 0 for kind in rates}
+
+    def should(self, kind: str) -> bool:
+        """Roll for one fault; ``True`` means inject it now."""
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            fire = self._rng.random() < rate
+            if fire:
+                self.injected[kind] += 1
+        return fire
+
+    def __repr__(self):
+        spec = ",".join(f"{kind}:{rate}"
+                        for kind, rate in sorted(self.rates.items()))
+        return f"<FaultPlan {spec or 'empty'} seed={self.seed}>"
+
+
+def parse_faults(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse a ``kind:rate,kind:rate`` spec into a :class:`FaultPlan`.
+
+    Raises :class:`ValueError` on unknown kinds, bad rates, or
+    malformed tokens — a typo'd chaos run must fail loudly, not run
+    fault-free and "pass".
+    """
+    rates: Dict[str, float] = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        kind, sep, raw = token.partition(":")
+        if not sep:
+            raise ValueError(
+                f"bad fault token {token!r}: expected KIND:RATE")
+        try:
+            rate = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"bad fault rate in {token!r}: {raw!r} is not a "
+                f"number") from None
+        rates[kind.strip()] = rate
+    return FaultPlan(rates, seed=seed)
+
+
+# -- The process-wide active plan -------------------------------------------------
+
+#: (pid, plan) so a forked worker re-derives its own plan (and fresh
+#: RNG) instead of continuing the parent's inherited roll state.
+_ACTIVE: Optional[tuple] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan configured by ``$REPRO_FAULTS``, or ``None``.
+
+    Re-parsed lazily per process (pid change invalidates the memo), so
+    fork-pool workers each start a deterministic roll sequence from
+    ``$REPRO_FAULTS_SEED``.
+    """
+    global _ACTIVE
+    pid = os.getpid()
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None and _ACTIVE[0] == pid:
+            return _ACTIVE[1]
+        spec = os.environ.get(ENV_FAULTS)
+        plan = None
+        if spec:
+            seed = int(os.environ.get(ENV_SEED, "0"), 0)
+            plan = parse_faults(spec, seed=seed)
+        _ACTIVE = (pid, plan)
+        return plan
+
+
+def reset() -> None:
+    """Forget the memoised plan (tests flip ``$REPRO_FAULTS``)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+
+
+# -- Injection sites --------------------------------------------------------------
+
+
+def worker_task_started() -> None:
+    """Site hook at the top of every pool-worker task: may kill this
+    worker (``worker_kill``) or stall it (``slow_task``).
+
+    Killing is suppressed in the process that imported this module —
+    the sweep orchestrator / serve daemon / degraded in-process
+    executor — so chaos runs always terminate.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if os.getpid() != _IMPORT_PID and plan.should("worker_kill"):
+        os._exit(KILL_EXIT_CODE)
+    if plan.should("slow_task"):
+        time.sleep(float(os.environ.get(ENV_SLOW_SECONDS, "0.05")))
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Site hook on the cache's disk write: maybe truncate the pickled
+    payload (the classic partial-write corruption)."""
+    plan = active_plan()
+    if plan is not None and plan.should("corrupt_artifact"):
+        return payload[:max(1, len(payload) // 2)]
+    return payload
+
+
+def check_disk_full() -> None:
+    """Site hook before the cache's disk write: maybe raise ENOSPC."""
+    plan = active_plan()
+    if plan is not None and plan.should("disk_full"):
+        raise OSError(errno.ENOSPC,
+                      "No space left on device [injected fault]")

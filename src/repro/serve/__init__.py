@@ -7,20 +7,27 @@ artifact cache with function-grained incremental keys, so re-analyzing
 an edited program recomputes only the phases whose inputs changed.
 """
 
-from .client import ServeClientError, analyze, poll, server_stats, submit
+from .client import (ServeClientError, analyze, cancel, poll,
+                     server_stats, submit)
 from .http import AnalysisRequestHandler, AnalysisServer
-from .service import (AnalysisRequest, AnalysisService, PointPlan,
-                      ValidationError)
+from .journal import TERMINAL_STATUSES, JobJournal
+from .service import (AnalysisRequest, AnalysisService, JobCancelled,
+                      JobTimeout, PointPlan, ValidationError)
 
 __all__ = [
     "AnalysisRequest",
     "AnalysisRequestHandler",
     "AnalysisServer",
     "AnalysisService",
+    "JobCancelled",
+    "JobJournal",
+    "JobTimeout",
     "PointPlan",
     "ServeClientError",
+    "TERMINAL_STATUSES",
     "ValidationError",
     "analyze",
+    "cancel",
     "poll",
     "server_stats",
     "submit",

@@ -7,10 +7,19 @@ beyond the standard library.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Optional
+
+from .journal import TERMINAL_STATUSES
+
+#: Polling backoff: the first poll waits ``POLL_BASE_SECONDS``, each
+#: further poll doubles the wait (plus jitter so a fleet of clients
+#: doesn't poll in lockstep), capped at ``POLL_CAP_SECONDS``.
+POLL_BASE_SECONDS = 0.05
+POLL_CAP_SECONDS = 2.0
 
 
 class ServeClientError(RuntimeError):
@@ -22,13 +31,14 @@ class ServeClientError(RuntimeError):
 
 
 def _request(url: str, payload: Optional[dict] = None,
-             timeout: float = 30.0) -> Any:
+             timeout: float = 30.0, method: Optional[str] = None) -> Any:
     data = None
     headers = {}
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
-    request = urllib.request.Request(url, data=data, headers=headers)
+    request = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as reply:
             return json.loads(reply.read())
@@ -47,27 +57,55 @@ def submit(url: str, payload: dict, timeout: float = 30.0) -> str:
     return reply["id"]
 
 
+def cancel(url: str, job_id: str, timeout: float = 30.0) -> dict:
+    """DELETE /jobs/<id>: request cancellation; returns the record."""
+    return _request(f"{url.rstrip('/')}/jobs/{job_id}",
+                    timeout=timeout, method="DELETE")
+
+
 def poll(url: str, job_id: str, timeout: float = 300.0,
-         interval: float = 0.05) -> dict:
-    """Poll one job until it finishes; returns its final record."""
+         interval: float = POLL_BASE_SECONDS) -> dict:
+    """Poll one job until it reaches a terminal status.
+
+    Waits ``interval`` before the second poll and doubles from there
+    (with jitter, capped at :data:`POLL_CAP_SECONDS`) — quick jobs
+    answer quickly, long jobs don't get hammered.  Raises
+    :class:`TimeoutError` once ``timeout`` elapses client-side.
+    """
     base = url.rstrip("/")
     deadline = time.monotonic() + timeout
+    wait = interval
     while True:
         record = _request(f"{base}/jobs/{job_id}")
-        if record["status"] in ("done", "error"):
+        if record["status"] in TERMINAL_STATUSES:
             return record
-        if time.monotonic() >= deadline:
+        now = time.monotonic()
+        if now >= deadline:
             raise TimeoutError(
                 f"job {job_id} still {record['status']} after "
                 f"{timeout:.0f}s")
-        time.sleep(interval)
+        sleep = min(wait, POLL_CAP_SECONDS, deadline - now)
+        time.sleep(sleep * (0.5 + random.random() * 0.5))
+        wait = min(wait * 2, POLL_CAP_SECONDS)
 
 
 def analyze(url: str, payload: dict, timeout: float = 300.0,
-            interval: float = 0.05) -> dict:
-    """Submit-and-poll convenience wrapper; returns the job record."""
-    return poll(url, submit(url, payload), timeout=timeout,
-                interval=interval)
+            interval: float = POLL_BASE_SECONDS) -> dict:
+    """Submit-and-poll convenience wrapper; returns the job record.
+
+    When the client-side ``timeout`` expires, the job is cancelled on
+    the server (best effort) before :class:`TimeoutError` propagates —
+    an abandoned request shouldn't keep burning a server worker.
+    """
+    job_id = submit(url, payload)
+    try:
+        return poll(url, job_id, timeout=timeout, interval=interval)
+    except TimeoutError:
+        try:
+            cancel(url, job_id)
+        except Exception:
+            pass
+        raise
 
 
 def server_stats(url: str, timeout: float = 30.0) -> dict:

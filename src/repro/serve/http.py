@@ -2,9 +2,10 @@
 
 Endpoints::
 
-    POST /analyze     submit a request  -> 202 {"id": ..., "job": ...}
-    GET  /jobs/<id>   poll a job        -> 200 record | 404
-    GET  /stats       service counters  -> 200
+    POST   /analyze     submit a request  -> 202 {"id": ..., "job": ...}
+    GET    /jobs/<id>   poll a job        -> 200 record | 404
+    DELETE /jobs/<id>   cancel a job      -> 200 record | 404
+    GET    /stats       service counters  -> 200
 
 A :class:`ThreadingHTTPServer` with daemon request threads fronts the
 service: request handling is I/O-thin (JSON in, JSON out) and all real
@@ -92,10 +93,21 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
             return
         self._error(404, f"no such endpoint: GET {self.path}")
 
+    def do_DELETE(self) -> None:
+        path = self.path.rstrip("/")
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            record = self.server.service.cancel(job_id)
+            if record is None:
+                self._error(404, f"no such job: {job_id!r}")
+                return
+            self._respond(200, record)
+            return
+        self._error(404, f"no such endpoint: DELETE {self.path}")
+
     def do_PUT(self) -> None:
         self._error(405, "method not allowed")
 
-    do_DELETE = do_PUT
     do_PATCH = do_PUT
 
 

@@ -22,6 +22,15 @@ artifacts live under the same keys a batch sweep or a plain
 :func:`~repro.wcet.ait.analyze_wcet` would address.  Hit/miss
 provenance per phase uses the sweep's canonical-owner attribution
 (:meth:`~repro.batch.dag.SweepDAG.row_events`).
+
+The job lifecycle is fault-tolerant: transitions are journalled
+durably (:mod:`repro.serve.journal`) so a restarted server answers for
+finished jobs and marks crashed-in-flight ones ``interrupted``; the
+in-memory job table is a bounded LRU (finished records evict once it
+overflows ``max_jobs`` — the journal keeps the durable copy); jobs
+can be cancelled (``DELETE /jobs/<id>``, a cooperative cancel event
+checked between phase tasks) and carry optional per-job wall-clock
+deadlines (``timeout_seconds``, expiring into a ``timeout`` status).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -42,15 +52,24 @@ from ..batch.dag import SweepDAG, TaskDAG, _wrap_phase
 from ..batch.engine import _result_row
 from ..batch.jobs import JobSpec, parse_policy
 from ..batch.scheduler import _TaskContext
+from .journal import TERMINAL_STATUSES, JobJournal
 
 
 class ValidationError(ValueError):
     """A malformed analyze request (mapped to HTTP 400)."""
 
 
+class JobCancelled(Exception):
+    """Internal: the job's cancel event fired between phase tasks."""
+
+
+class JobTimeout(Exception):
+    """Internal: the job's wall-clock deadline expired."""
+
+
 _ALLOWED_FIELDS = frozenset({
     "source", "assembly", "policies", "models", "entry",
-    "loop_bounds", "register_ranges", "label",
+    "loop_bounds", "register_ranges", "label", "timeout_seconds",
 })
 
 #: Main-chain dependency structure of the seven phases (mirrors
@@ -161,6 +180,16 @@ class AnalysisRequest:
             raise ValidationError("'label' must be a non-empty string")
         self.label = label
 
+        timeout = payload.get("timeout_seconds")
+        if timeout is not None:
+            if isinstance(timeout, bool) \
+                    or not isinstance(timeout, (int, float)) \
+                    or not timeout > 0:
+                raise ValidationError(
+                    "'timeout_seconds' must be a positive number")
+        self.timeout_seconds: Optional[float] = \
+            float(timeout) if timeout is not None else None
+
     @staticmethod
     def _string_list(value: Any, what: str,
                      default: List[str]) -> List[str]:
@@ -215,7 +244,18 @@ class AnalysisService:
     All jobs share one :class:`ArtifactCache` whose in-memory memo is
     LRU-bounded, so the process neither recomputes unchanged phases nor
     grows without limit.
+
+    With ``journal_dir`` every job transition is durably journalled:
+    construction replays the journal, so finished jobs answer across
+    restarts and jobs a crash caught mid-flight come back as
+    ``interrupted``.  The in-memory job table holds at most
+    ``max_jobs`` records — once it overflows, the oldest *finished*
+    records evict (``jobs_evicted`` in :meth:`stats`); running jobs
+    are never evicted.
     """
+
+    #: Default bound of the in-memory job table.
+    MAX_JOBS = 256
 
     def __init__(self, cache_dir: Optional[str] = None,
                  workers: int = 2,
@@ -224,7 +264,9 @@ class AnalysisService:
                  memo_entries: Optional[int] =
                  ArtifactCache.MEMO_ENTRY_LIMIT,
                  memo_bytes: Optional[int] =
-                 ArtifactCache.MEMO_BYTE_LIMIT):
+                 ArtifactCache.MEMO_BYTE_LIMIT,
+                 max_jobs: int = MAX_JOBS,
+                 journal_dir: Optional[str] = None):
         limit_bytes = int(cache_limit_mb * 1024 * 1024) \
             if cache_limit_mb is not None else None
         self.cache = ArtifactCache(cache_dir, salt=salt,
@@ -232,12 +274,31 @@ class AnalysisService:
                                    memo_entries=memo_entries,
                                    memo_bytes=memo_bytes)
         self.workers = workers
+        self.max_jobs = max(1, max_jobs)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
-        self._jobs: Dict[str, dict] = {}
+        self._jobs: "OrderedDict[str, dict]" = OrderedDict()
+        self._cancel_events: Dict[str, threading.Event] = {}
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
         self._started = time.monotonic()
+        self.jobs_evicted = 0
+        self.jobs_interrupted = 0
+
+        self.journal: Optional[JobJournal] = None
+        next_id = 1
+        if journal_dir is not None:
+            self.journal = JobJournal(journal_dir)
+            replayed, last_id = self.journal.replay()
+            next_id = last_id + 1
+            interrupted = [job_id for job_id, record in replayed.items()
+                           if record["status"] == "interrupted"]
+            self.jobs_interrupted = len(interrupted)
+            self.journal.mark_interrupted(interrupted)
+            for job_id, record in replayed.items():
+                record["replayed"] = True
+                self._jobs[job_id] = record
+            self._evict_finished_locked()
+        self._ids = itertools.count(next_id)
 
     # -- Public API ---------------------------------------------------------
 
@@ -246,9 +307,13 @@ class AnalysisService:
         id.  Raises :class:`ValidationError` on a malformed request."""
         request = AnalysisRequest(payload)
         job_id = f"job-{next(self._ids)}"
+        record = {"id": job_id, "status": "pending",
+                  "label": request.label}
         with self._lock:
-            self._jobs[job_id] = {"id": job_id, "status": "pending",
-                                  "label": request.label}
+            self._jobs[job_id] = dict(record)
+            self._cancel_events[job_id] = threading.Event()
+            self._evict_finished_locked()
+        self._journal({**record, "time": time.time()})
         self._pool.submit(self._run, job_id, request)
         return job_id
 
@@ -258,45 +323,120 @@ class AnalysisService:
             record = self._jobs.get(job_id)
             return dict(record) if record is not None else None
 
+    def cancel(self, job_id: str) -> Optional[dict]:
+        """Request cancellation of one job (``DELETE /jobs/<id>``).
+
+        Pending jobs cancel before they start; running jobs observe
+        the cooperative cancel event between phase tasks.  Finished
+        jobs are left as they are (cancellation is idempotent and
+        never un-finishes a record).  Returns the record snapshot, or
+        ``None`` for an unknown job.
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                return None
+            event = self._cancel_events.get(job_id)
+            if event is not None \
+                    and record["status"] not in TERMINAL_STATUSES:
+                event.set()
+                record["cancel_requested"] = True
+            return dict(record)
+
     def stats(self) -> dict:
         """Service-level counters for ``GET /stats``."""
         with self._lock:
             statuses = [record["status"]
                         for record in self._jobs.values()]
+        counts = {status: statuses.count(status)
+                  for status in ("pending", "running", "done", "error",
+                                 "cancelled", "timeout", "interrupted")}
         return {
             "workers": self.workers,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "jobs": {"total": len(statuses),
-                     "pending": statuses.count("pending"),
-                     "running": statuses.count("running"),
-                     "done": statuses.count("done"),
-                     "error": statuses.count("error")},
+                     "jobs_evicted": self.jobs_evicted,
+                     **counts},
             "cache": {"hits": self.cache.hits,
                       "misses": self.cache.misses,
                       "hit_ratio": round(self.cache.hit_ratio(), 4),
                       "evictions": self.cache.evictions,
+                      "quarantined": self.cache.quarantined,
                       "memo": self.cache.memo_stats()},
         }
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
 
     # -- Execution ----------------------------------------------------------
 
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _evict_finished_locked(self) -> None:
+        """Shed the oldest finished records past ``max_jobs`` (caller
+        holds the lock).  Active jobs are never evicted, so the table
+        can transiently exceed the bound under a burst of in-flight
+        work; the journal keeps the durable copy of whatever leaves."""
+        if len(self._jobs) <= self.max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id]["status"] in TERMINAL_STATUSES:
+                del self._jobs[job_id]
+                self._cancel_events.pop(job_id, None)
+                self.jobs_evicted += 1
+
+    def _finish(self, job_id: str, update: dict) -> None:
+        with self._lock:
+            self._jobs[job_id].update(update)
+            self._cancel_events.pop(job_id, None)
+        self._journal({"id": job_id, **update, "time": time.time()})
+
     def _run(self, job_id: str, request: AnalysisRequest) -> None:
+        cancel_event = self._cancel_events.get(job_id)
+        if cancel_event is not None and cancel_event.is_set():
+            self._finish(job_id, {"status": "cancelled"})
+            return
         with self._lock:
             self._jobs[job_id]["status"] = "running"
+        self._journal({"id": job_id, "status": "running",
+                       "time": time.time()})
+        deadline = time.monotonic() + request.timeout_seconds \
+            if request.timeout_seconds is not None else None
         try:
-            outcome = self._analyze(request)
+            outcome = self._analyze(request, cancel_event, deadline)
+        except JobCancelled:
+            update = {"status": "cancelled"}
+        except JobTimeout:
+            update = {"status": "timeout",
+                      "error": f"deadline of "
+                               f"{request.timeout_seconds}s exceeded"}
         except Exception as exc:
             update = {"status": "error",
                       "error": f"{type(exc).__name__}: {exc}"}
         else:
             update = {"status": "done", **outcome}
-        with self._lock:
-            self._jobs[job_id].update(update)
+        self._finish(job_id, update)
 
-    def _analyze(self, request: AnalysisRequest) -> dict:
+    @staticmethod
+    def _check_abort(cancel_event: Optional[threading.Event],
+                     deadline: Optional[float]) -> None:
+        """Cooperative cancellation/deadline check between phase
+        tasks (a task in flight finishes; its artifact stays cached,
+        so a resubmission still profits from the partial work)."""
+        if cancel_event is not None and cancel_event.is_set():
+            raise JobCancelled()
+        if deadline is not None and time.monotonic() >= deadline:
+            raise JobTimeout()
+
+    def _analyze(self, request: AnalysisRequest,
+                 cancel_event: Optional[threading.Event] = None,
+                 deadline: Optional[float] = None) -> dict:
         start = time.perf_counter()
         compile_start = time.perf_counter()
         program = request.load_program()
@@ -334,6 +474,7 @@ class AnalysisService:
         # visible across requests the moment they are stored).
         ready = dag.start()
         while ready:
+            self._check_abort(cancel_event, deadline)
             node = ready.pop(0)
             owner = node.refs[0][0]
             phase_start = time.perf_counter()
@@ -345,6 +486,7 @@ class AnalysisService:
         rows = []
         for index, (spec, plan, context) in enumerate(
                 zip(specs, plans, contexts)):
+            self._check_abort(cancel_event, deadline)
             row_start = time.perf_counter()
             artifacts = {}
             phase_seconds = {}

@@ -17,6 +17,7 @@ import os
 
 import pytest
 
+from repro import faults
 from repro.batch import (ArtifactCache, DAGCycleError, JobSpec, TaskDAG,
                          build_sweep_dag, clear_process_caches,
                          compare_rows, expand_matrix, load_golden,
@@ -198,10 +199,6 @@ class TestSchedulerDeterminism:
 # -- Failure handling ------------------------------------------------------------
 
 
-def _dying_task(payload):
-    os._exit(13)                      # simulates a worker crash
-
-
 class TestFailureHandling:
     def test_failing_job_yields_error_row_not_crash(self, monkeypatch):
         from repro.workloads import suite
@@ -238,17 +235,43 @@ class TestFailureHandling:
             assert err.line == 3
             assert str(err) == "line 3: boom"
 
-    def test_worker_death_fills_error_rows(self, monkeypatch):
+    def test_worker_death_degrades_to_complete_rows(self, monkeypatch):
+        # Every worker task kills its worker (rate 1.0): the scheduler
+        # rebuilds the pool up to its budget, then degrades to
+        # in-process execution — every row still completes with the
+        # golden bound instead of becoming an error row.
         if dag_scheduler._pool_context() is None:
             pytest.skip("needs fork start method")
-        monkeypatch.setattr(dag_scheduler, "_phase_task", _dying_task)
-        jobs = expand_matrix("fibcall:full:additive,krisc5")
+        monkeypatch.setenv(faults.ENV_FAULTS, "worker_kill:1.0")
+        faults.reset()
+        try:
+            jobs = expand_matrix("fibcall:full:additive,krisc5")
+            clear_process_caches()
+            result = run_sweep(jobs, parallel=2, max_pool_rebuilds=1)
+        finally:
+            faults.reset()
+        assert result.errors == []
+        assert compare_rows(result.rows, load_golden(GOLDEN)) == []
+        stats = result.scheduler
+        assert stats["pool_rebuilds"] == 1
+        assert stats["degraded_tasks"] > 0
+        assert stats["retries"] > 0
+
+    def test_error_past_retry_budget_reports_attempt_count(
+            self, monkeypatch):
+        # A deterministic task error burns the whole retry budget and
+        # the error row says how often the task was tried.
+        from repro.workloads import suite
+        broken = suite.Workload(name="broken-kernel",
+                                description="uncompilable", category="x",
+                                source="int main( {")
+        monkeypatch.setitem(suite.WORKLOADS, broken.name, broken)
+        jobs = [JobSpec(broken.name, "full", "additive")]
         clear_process_caches()
-        result = run_sweep(jobs, parallel=2)
-        assert all("error" in row for row in result.rows)
-        assert len(result.errors) == len(jobs)
-        assert any("worker pool died" in error
-                   for error in result.errors)
+        result = run_sweep(jobs, parallel=2, max_task_retries=1)
+        assert len(result.errors) == 1
+        assert "task failed 2 times" in result.errors[0]
+        assert result.scheduler["retries"] == 1
 
 
 # -- Eviction robustness ---------------------------------------------------------

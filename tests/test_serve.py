@@ -422,7 +422,12 @@ class TestHTTP:
 
     def test_write_methods_return_405(self, server):
         assert http_status(server, "/analyze", "PUT", b"{}") == 405
-        assert http_status(server, "/jobs/job-1", "DELETE") == 405
+        assert http_status(server, "/jobs/job-1", "PATCH", b"{}") == 405
+
+    def test_delete_routes(self, server):
+        # DELETE is cancellation: unknown jobs 404, other paths 404.
+        assert http_status(server, "/jobs/job-999999", "DELETE") == 404
+        assert http_status(server, "/analyze", "DELETE") == 404
 
     def test_stats_expose_cache_counters(self, server):
         analyze(server, {"source": BASE, "label": "stats-probe"})
