@@ -119,10 +119,118 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rta_sweep(files, cache_dir=None, golden=None, write_golden=None,
+               orderings=None, geometries=None) -> int:
+    """Shared by ``repro rta --sweep`` and ``repro batch --scenario
+    rta``: ordering × geometry schedulability sweep with golden
+    verdicts."""
+    from .batch.cachestore import ArtifactCache
+    from .rta.sweep import (GEOMETRIES, compare_with_golden,
+                            load_golden, rows_to_golden, save_golden,
+                            sweep_taskset)
+    from .rta.taskset import ORDERINGS, load_taskset
+
+    cache = ArtifactCache(cache_dir)
+    orderings = orderings or ORDERINGS
+    geometries = geometries or GEOMETRIES
+    rows = []
+    for path in files:
+        rows.extend(sweep_taskset(load_taskset(path),
+                                  orderings=orderings,
+                                  geometries=geometries, cache=cache))
+    header = (f"{'taskset':<16} {'ordering':<16} {'geometry':<9} "
+              f"{'verdict':<14} responses")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        verdict = "schedulable" if row["schedulable"] \
+            else "UNSCHEDULABLE"
+        responses = " ".join(
+            f"{task['task']}={task['response']}"
+            for task in row["tasks"])
+        print(f"{row['taskset']:<16} {row['ordering']:<16} "
+              f"{row['geometry']:<9} {verdict:<14} {responses}")
+    print(f"\n{len(rows)} cells; phase cache: {cache.hits} hits / "
+          f"{cache.misses} misses")
+
+    failures = []
+    if golden:
+        failures.extend(compare_with_golden(rows, load_golden(golden)))
+    if write_golden:
+        merged = rows_to_golden(rows)
+        try:
+            existing = load_golden(write_golden)
+        except FileNotFoundError:
+            existing = {}
+        existing.update(merged)
+        import json as _json
+        with open(write_golden, "w", encoding="utf-8") as handle:
+            _json.dump(existing, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"golden verdicts written to {write_golden}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_rta(args: argparse.Namespace) -> int:
+    from .batch.cachestore import ArtifactCache
+    from .rta import analyze_taskset, verify_taskset
+    from .rta.taskset import load_taskset
+
+    orderings = args.orderings.split(",") if args.orderings else None
+    geometries = args.geometries.split(",") if args.geometries else None
+    if args.sweep:
+        return _rta_sweep(args.files, cache_dir=args.cache_dir,
+                          golden=args.golden,
+                          write_golden=args.write_golden,
+                          orderings=orderings, geometries=geometries)
+
+    cache = ArtifactCache(args.cache_dir)
+    failures = []
+    for path in args.files:
+        taskset = load_taskset(path)
+        result = analyze_taskset(taskset, cache=cache)
+        print(f"task set {taskset.name}: "
+              f"{'schedulable' if result.schedulable else 'UNSCHEDULABLE'}")
+        header = (f"  {'task':<10} {'prio':>4} {'period':>8} "
+                  f"{'C':>8} {'R':>8} {'naive R':>8}  CRPD")
+        print(header)
+        print("  " + "-" * (len(header) - 2))
+        for response in result.responses:
+            shown = response.response if response.response is not None \
+                else "-"
+            naive = response.naive_response \
+                if response.naive_response is not None else "-"
+            crpd = ", ".join(f"{name}:{cost}" for name, cost
+                             in sorted(response.crpd.items())) or "-"
+            print(f"  {response.name:<10} {response.priority:>4} "
+                  f"{response.period:>8} {response.wcet_cycles:>8} "
+                  f"{shown:>8} {naive:>8}  {crpd}")
+        print(f"  phase cache: {result.cache_hits} hits / "
+              f"{result.cache_misses} misses; naive full-refill CRPD "
+              f"{result.naive_crpd_cycles} cycles")
+        if args.verify:
+            report = verify_taskset(result)
+            print(f"  S7/S8 oracle: {report.summary()}")
+            if not report.ok:
+                failures.extend(str(v) for v in report.violations)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from .batch import (compare_rows, golden_from_rows, load_golden,
                         merge_golden, save_golden)
     from .workloads.suite import sweep_suite
+
+    if args.scenario == "rta":
+        if not args.taskset:
+            raise SystemExit("--scenario rta requires --taskset")
+        return _rta_sweep(args.taskset, cache_dir=args.cache_dir,
+                          golden=args.golden,
+                          write_golden=args.write_golden)
 
     scheduler_options = {}
     if args.task_retries is not None:
@@ -442,7 +550,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker-pool rebuilds after pool death "
                              "before degrading to in-process "
                              "execution (default 3)")
+    p_batch.add_argument("--scenario", choices=("wcet", "rta"),
+                        default="wcet",
+                        help="sweep kind: per-task WCET matrix "
+                             "(default) or task-set schedulability "
+                             "(orderings x geometries; needs "
+                             "--taskset)")
+    p_batch.add_argument("--taskset", action="append", default=None,
+                        metavar="TASKSET.json",
+                        help="task-set file for --scenario rta "
+                             "(repeatable)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_rta = sub.add_parser(
+        "rta", help="multi-task response-time analysis with CRPD")
+    p_rta.add_argument("files", nargs="+", metavar="TASKSET.json",
+                       help="task-set JSON file(s)")
+    p_rta.add_argument("--sweep", action="store_true",
+                       help="sweep priority orderings x cache "
+                            "geometries instead of a single analysis")
+    p_rta.add_argument("--orderings", default=None, metavar="LIST",
+                       help="comma list of priority orderings "
+                            "(given, rate_monotonic, reverse)")
+    p_rta.add_argument("--geometries", default=None, metavar="LIST",
+                       help="comma list of cache geometries, each "
+                            "SETSxASSOCxLINE (e.g. 16x2x16)")
+    p_rta.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed artifact cache "
+                            "directory (default: in-memory only)")
+    p_rta.add_argument("--verify", action="store_true",
+                       help="run the preemptive-simulation oracle "
+                            "(S7/S8) after analysis")
+    p_rta.add_argument("--golden", default=None, metavar="PATH",
+                       help="assert sweep verdicts match this golden "
+                            "JSON file (implies nothing without "
+                            "--sweep)")
+    p_rta.add_argument("--write-golden", default=None, metavar="PATH",
+                       help="write/refresh golden sweep verdicts")
+    p_rta.set_defaults(func=cmd_rta)
 
     p_serve = sub.add_parser(
         "serve", help="run the analysis service (HTTP, stdlib only)")

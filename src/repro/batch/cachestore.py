@@ -112,6 +112,13 @@ class ArtifactCache:
         self._memory: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
         self._memory_bytes = 0
         self._lock = threading.RLock()
+        #: In-flight single-flight latches, one per key being computed
+        #: (see :meth:`fetch_or_compute`).
+        self._inflight: Dict[str, threading.Event] = {}
+        #: Running byte tally of the ``objects/`` tree; ``None`` until
+        #: the first full scan (or after suspected drift) forces a
+        #: rescan in :meth:`_evict_if_needed`.
+        self._disk_bytes: Optional[int] = None
 
     # -- Protocol -----------------------------------------------------------
 
@@ -161,6 +168,59 @@ class ArtifactCache:
             self.misses += 1
         return False, None
 
+    def fetch_or_compute(self, key, compute) -> Tuple[Any, bool]:
+        """Cached value for ``key``, computing it at most once per
+        process even under concurrency (*single-flight*).
+
+        Returns ``(value, computed)`` where ``computed`` says whether
+        *this* call ran ``compute``.  The first caller for a key (the
+        *leader*) computes and stores; concurrent callers for the same
+        key (*followers*) block on the leader's latch and then serve
+        the leader's result from the memo instead of recomputing — so
+        N simultaneous identical requests cost exactly one miss and
+        one computation per key, not N.
+
+        A leader whose ``compute`` raises releases its followers; the
+        first of them takes over leadership (its ``lookup`` still
+        misses), so failures retry rather than deadlock.  Nested calls
+        (``compute`` fetching its own dependencies) are safe because
+        leadership only ever chains *downward* through the phase DAG —
+        dependency keys differ from the keys waited on above them.
+        """
+        while True:
+            with self._lock:
+                entry = self._memory.get(key)
+                if entry is not None:
+                    self._memory.move_to_end(key)
+                    self.hits += 1
+                    return entry[0], False
+                latch = self._inflight.get(key)
+                if latch is None:
+                    # Leadership claimed under the lock: every other
+                    # thread arriving for this key becomes a follower.
+                    latch = threading.Event()
+                    self._inflight[key] = latch
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                latch.wait()
+                # Re-enter: the common case hits the leader's memo
+                # entry; if the leader failed (no entry, latch gone),
+                # this thread claims leadership itself.
+                continue
+            try:
+                hit, value = self.lookup(key)
+                if hit:
+                    return value, False
+                value = compute()
+                self.store(key, value)
+                return value, True
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                latch.set()
+
     def store(self, key: str, value: Any) -> None:
         payload: Optional[bytes] = None
         try:
@@ -184,9 +244,15 @@ class ArtifactCache:
             handle, temp_path = tempfile.mkstemp(dir=directory,
                                                  suffix=".tmp")
             try:
+                old_size = 0
+                try:
+                    old_size = os.stat(path).st_size
+                except OSError:
+                    pass
                 with os.fdopen(handle, "wb") as stream:
                     stream.write(payload)
                 os.replace(temp_path, path)
+                self._disk_bytes_add(len(payload) - old_size)
             except BaseException:
                 try:
                     os.unlink(temp_path)
@@ -241,28 +307,33 @@ class ArtifactCache:
         either way the broken bytes no longer answer lookups."""
         quarantine_dir = os.path.join(self.root, "quarantine")
         try:
+            size = os.stat(path).st_size
+        except OSError:
+            size = 0
+        try:
             os.makedirs(quarantine_dir, exist_ok=True)
             os.replace(path, os.path.join(quarantine_dir,
                                           os.path.basename(path)))
         except OSError:
             return
+        self._disk_bytes_add(-size)
         with self._lock:
             self.quarantined += 1
 
-    def _evict_if_needed(self, protect: Optional[str] = None) -> None:
-        """Drop oldest on-disk objects (by mtime) until the store fits
-        ``limit_bytes`` again.
+    def _disk_bytes_add(self, delta: int) -> None:
+        """Shift the running ``objects/`` byte tally; a tally driven
+        negative signals drift (a concurrent worker changed the tree
+        under us) and resets to unknown, forcing a rescan."""
+        with self._lock:
+            if self._disk_bytes is None:
+                return
+            self._disk_bytes += delta
+            if self._disk_bytes < 0:
+                self._disk_bytes = None
 
-        Eviction only unlinks files — in-memory memoisation keeps this
-        process's working set, and an evicted artifact is simply
-        recomputed on its next cold lookup (readers treat a vanished
-        object as a miss, so racing a concurrent worker's read is
-        safe).  ``protect`` exempts the object this store() call just
-        wrote: evicting it would invalidate the scheduler's knowledge
-        that the artifact is addressable before anyone could read it.
-        Races with concurrent workers (a file disappearing mid-scan)
-        degrade to no-ops.
-        """
+    def _scan_objects(self) -> Tuple[int, list]:
+        """Walk ``objects/`` once: ``(total_bytes, [(mtime, path,
+        size), ...])`` of every stored artifact."""
         objects_root = os.path.join(self.root, "objects")
         entries = []
         total = 0
@@ -275,22 +346,53 @@ class ArtifactCache:
                     stat = os.stat(path)
                 except OSError:
                     continue
-                entries.append((stat.st_mtime, stat.st_size, path))
+                entries.append((stat.st_mtime, path, stat.st_size))
                 total += stat.st_size
-        if total <= self.limit_bytes:
+        return total, entries
+
+    def _evict_if_needed(self, protect: Optional[str] = None) -> None:
+        """Drop oldest on-disk objects (by mtime, ties broken by path)
+        until the store fits ``limit_bytes`` again.
+
+        A running byte tally (updated on every store/quarantine) makes
+        the common under-limit store O(1): the full ``objects/`` walk
+        happens only on first use or when the tally crosses the limit,
+        and each walk resynchronises the tally — absorbing any drift
+        from concurrent workers sharing the directory.  Ties on mtime
+        (1-second-granularity filesystems) break by *path*, never by
+        file size, so eviction order is deterministic and independent
+        of artifact content.
+
+        Eviction only unlinks files — in-memory memoisation keeps this
+        process's working set, and an evicted artifact is simply
+        recomputed on its next cold lookup (readers treat a vanished
+        object as a miss, so racing a concurrent worker's read is
+        safe).  ``protect`` exempts the object this store() call just
+        wrote: evicting it would invalidate the scheduler's knowledge
+        that the artifact is addressable before anyone could read it.
+        Races with concurrent workers (a file disappearing mid-scan)
+        degrade to no-ops.
+        """
+        with self._lock:
+            tally = self._disk_bytes
+        if tally is not None and tally <= self.limit_bytes:
             return
-        entries.sort()
-        for _, size, path in entries:
-            if protect is not None and path == protect:
-                continue
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            self.evictions += 1
-            total -= size
-            if total <= self.limit_bytes:
-                break
+        total, entries = self._scan_objects()
+        if total > self.limit_bytes:
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            for _, path, size in entries:
+                if protect is not None and path == protect:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                self.evictions += 1
+                total -= size
+                if total <= self.limit_bytes:
+                    break
+        with self._lock:
+            self._disk_bytes = total
 
     # -- Introspection ------------------------------------------------------
 

@@ -126,27 +126,27 @@ class _TaskContext:
 
     def ensure(self, template: str) -> bool:
         """Make the template's artifact addressable in the store;
-        return whether this call computed it."""
-        key = self.key_of(template)
-        hit, _ = self.cache.lookup(key)
-        if hit:
-            return False
-        self._compute(template, key)
-        return True
+        return whether this call computed it.
+
+        Routed through the cache's single-flight latch: when two
+        threads (e.g. concurrent identical ``repro serve`` requests
+        sharing one in-process cache) race on the same key, one
+        computes and the other blocks on its latch — dedup happens
+        *before* the work starts, not only through the artifact store
+        after completion."""
+        _, computed = self.cache.fetch_or_compute(
+            self.key_of(template), lambda: self._compute(template))
+        return computed
 
     def value_of(self, template: str) -> Any:
-        key = self.key_of(template)
-        hit, value = self.cache.lookup(key)
-        if hit:
-            return value
-        return self._compute(template, key)
+        value, _ = self.cache.fetch_or_compute(
+            self.key_of(template), lambda: self._compute(template))
+        return value
 
-    def _compute(self, template: str, key: str) -> Any:
+    def _compute(self, template: str) -> Any:
         spec = self.plan.templates[template]
         deps = {dep: self.value_of(dep) for dep in spec.deps}
-        value = spec.compute(deps)
-        self.cache.store(key, value)
-        return value
+        return spec.compute(deps)
 
 
 def _transportable(task):

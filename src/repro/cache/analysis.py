@@ -245,14 +245,24 @@ class ICacheResult:
         return self.classifications.get(node, [])
 
 
+def icache_access_specs(graph: TaskGraph, config: CacheConfig
+                        ) -> Dict[NodeId, List[AccessSpec]]:
+    """Per-node instruction-fetch access specs (one per instruction).
+
+    Shared by the I-cache fixpoint below and the UCB/ECB analysis of
+    :mod:`repro.rta.ucb`, so both reason about exactly the same
+    abstract accesses."""
+    accesses: Dict[NodeId, List[AccessSpec]] = {}
+    for node in graph.nodes():
+        accesses[node] = [AccessSpec((config.line_of(instr.address),))
+                          for instr in graph.blocks[node]]
+    return accesses
+
+
 def analyze_icache(graph: TaskGraph, config: CacheConfig,
                    impl: Optional[str] = None) -> ICacheResult:
     """Classify every instruction fetch of the task."""
-    accesses: Dict[NodeId, List[AccessSpec]] = {}
-    for node in graph.nodes():
-        specs = [AccessSpec((config.line_of(instr.address),))
-                 for instr in graph.blocks[node]]
-        accesses[node] = specs
+    accesses = icache_access_specs(graph, config)
     fixpoint = CacheFixpoint(graph, config, accesses, impl=impl)
     classifications = fixpoint.classify_all(fixpoint.solve())
     stats = ClassificationStats()
@@ -317,6 +327,32 @@ def _lines_of_access(access: MemoryAccess,
     return AccessSpec(tuple(range(first, last + 1)))
 
 
+def _accesses_by_node(values: ValueAnalysisResult
+                      ) -> Dict[NodeId, List[MemoryAccess]]:
+    by_node: Dict[NodeId, List[MemoryAccess]] = {}
+    for access in values.accesses:
+        by_node.setdefault(access.node, []).append(access)
+    return by_node
+
+
+def dcache_access_specs(graph: TaskGraph, config: CacheConfig,
+                        values: ValueAnalysisResult,
+                        use_value_analysis: bool = True
+                        ) -> Dict[NodeId, List[AccessSpec]]:
+    """Per-node data-access specs, derived from value analysis.
+
+    Shared by the D-cache fixpoint below and the UCB/ECB analysis of
+    :mod:`repro.rta.ucb`."""
+    specs: Dict[NodeId, List[AccessSpec]] = {}
+    for node, node_accesses in _accesses_by_node(values).items():
+        if use_value_analysis:
+            specs[node] = [_lines_of_access(a, config)
+                           for a in node_accesses]
+        else:
+            specs[node] = [AccessSpec(None) for _ in node_accesses]
+    return specs
+
+
 def analyze_dcache(graph: TaskGraph, config: CacheConfig,
                    values: ValueAnalysisResult,
                    use_value_analysis: bool = True,
@@ -327,18 +363,9 @@ def analyze_dcache(graph: TaskGraph, config: CacheConfig,
     treated as having an unknown address, as a tool without value
     analysis would have to.
     """
-    by_node: Dict[NodeId, List[MemoryAccess]] = {}
-    for access in values.accesses:
-        by_node.setdefault(access.node, []).append(access)
-
-    specs: Dict[NodeId, List[AccessSpec]] = {}
-    for node, node_accesses in by_node.items():
-        if use_value_analysis:
-            specs[node] = [_lines_of_access(a, config)
-                           for a in node_accesses]
-        else:
-            specs[node] = [AccessSpec(None) for _ in node_accesses]
-
+    by_node = _accesses_by_node(values)
+    specs = dcache_access_specs(graph, config, values,
+                                use_value_analysis=use_value_analysis)
     fixpoint = CacheFixpoint(graph, config, specs, impl=impl)
     classifications = fixpoint.classify_all(fixpoint.solve())
 

@@ -61,6 +61,26 @@ class FetchEvent:
 
 
 @dataclass
+class PreemptionRecord:
+    """One preemption served at an instruction boundary.
+
+    ``cycles``/``steps`` are the preempting task's own execution;
+    the hit/miss counters are the cache events *it* caused (attributed
+    by snapshotting the shared cache counters around its run), so a
+    preempted run's task-side misses stay separable from preemptor
+    traffic."""
+
+    step: int           # victim step count when the preemption fired
+    pc: int             # victim's resume address
+    cycles: int
+    steps: int
+    fetch_hits: int
+    fetch_misses: int
+    data_hits: int
+    data_misses: int
+
+
+@dataclass
 class ExecutionResult:
     """Outcome of one concrete run."""
 
@@ -76,6 +96,8 @@ class ExecutionResult:
     data_misses: int
     access_trace: List[AccessEvent] = field(default_factory=list)
     fetch_trace: List[FetchEvent] = field(default_factory=list)
+    #: Preemptions served during the run (empty for plain ``run()``).
+    preemptions: List[PreemptionRecord] = field(default_factory=list)
 
     def register(self, index: int) -> int:
         return self.registers[index]
@@ -83,6 +105,25 @@ class ExecutionResult:
     def signed_register(self, index: int) -> int:
         value = self.registers[index]
         return value - (1 << 32) if value & (1 << 31) else value
+
+    # Cache counters are shared between victim and preemptors (they
+    # run on the same caches — that is the point of CRPD); these strip
+    # the preemptors' own traffic back out.
+
+    @property
+    def task_fetch_misses(self) -> int:
+        return self.fetch_misses - sum(p.fetch_misses
+                                       for p in self.preemptions)
+
+    @property
+    def task_data_misses(self) -> int:
+        return self.data_misses - sum(p.data_misses
+                                      for p in self.preemptions)
+
+    @property
+    def task_cycles(self) -> int:
+        """Victim-only cycles (total minus preemptor execution)."""
+        return self.cycles - sum(p.cycles for p in self.preemptions)
 
 
 @dataclass
@@ -156,6 +197,7 @@ class Simulator:
         # Per-step D-cache access events: (hit, extra_beat) pairs in
         # execution order, consumed by the krisc5 accounting.
         self._step_accesses: List[Tuple[bool, bool]] = []
+        self.preemption_records: List[PreemptionRecord] = []
 
     # -- Public API -----------------------------------------------------------
 
@@ -190,7 +232,83 @@ class Simulator:
             data_misses=self.dcache.misses,
             access_trace=self.access_trace,
             fetch_trace=self.fetch_trace,
+            preemptions=list(self.preemption_records),
         )
+
+    # -- Preemption ------------------------------------------------------------
+
+    def preempt(self, program: Program,
+                max_steps: int = 1_000_000) -> PreemptionRecord:
+        """Run ``program`` to completion *on this simulator's caches*
+        and account its cycles, as a preemption at the current
+        instruction boundary.
+
+        The preempting task executes on a nested simulator with its
+        own registers, memory, and stack (an OSEK context switch saves
+        and restores all of those) but shares the I- and D-cache
+        objects — the one piece of state a context switch does *not*
+        restore, and the source of cache-related preemption delay.
+        Cache hit/miss counters are snapshotted around the nested run
+        so the record attributes the preemptor's traffic separately.
+        """
+        nested = Simulator(program, self.config)
+        nested.icache = self.icache
+        nested.dcache = self.dcache
+        fetch_hits = self.icache.hits
+        fetch_misses = self.icache.misses
+        data_hits = self.dcache.hits
+        data_misses = self.dcache.misses
+        nested.run(max_steps=max_steps)
+        record = PreemptionRecord(
+            step=self.steps,
+            pc=self.pc,
+            cycles=nested.cycles,
+            steps=nested.steps,
+            fetch_hits=self.icache.hits - fetch_hits,
+            fetch_misses=self.icache.misses - fetch_misses,
+            data_hits=self.dcache.hits - data_hits,
+            data_misses=self.dcache.misses - data_misses,
+        )
+        self.preemption_records.append(record)
+        self.cycles += record.cycles
+        if self.config.pipeline_model == "krisc5":
+            # Shift every absolute pipeline clock by the preemptor's
+            # execution time: krisc5 accounting is shift-invariant, so
+            # the victim resumes with identical relative hazards.
+            delta = record.cycles
+            self._k5_fetch_free += delta
+            self._k5_ex_free += delta
+            self._k5_mem_free += delta
+            self._k5_load_ready = {reg: ready + delta
+                                   for reg, ready
+                                   in self._k5_load_ready.items()}
+        return record
+
+    def run_preemptive(self, preemptions, max_steps: int = 1_000_000,
+                       arguments: Optional[Dict[int, int]] = None,
+                       preemptor_max_steps: int = 1_000_000
+                       ) -> ExecutionResult:
+        """Run until HALT, serving scheduled preemptions.
+
+        ``preemptions`` is a sequence of ``(step, program)`` pairs: the
+        preempting ``program`` runs to completion at the first
+        instruction boundary where the victim has executed at least
+        ``step`` instructions (several due at the same boundary run
+        back to back, in schedule order).  Preemptions scheduled past
+        the victim's HALT never fire.
+        """
+        if arguments:
+            for reg, value in arguments.items():
+                self.regs[reg] = value & _WORD
+        queue = sorted(preemptions, key=lambda item: item[0])
+        while not self.halted:
+            while queue and queue[0][0] <= self.steps:
+                _, preemptor = queue.pop(0)
+                self.preempt(preemptor, max_steps=preemptor_max_steps)
+            if self.steps >= max_steps:
+                raise OutOfFuel(f"no HALT within {max_steps} steps")
+            self.step()
+        return self.result()
 
     # -- Execution ---------------------------------------------------------------
 

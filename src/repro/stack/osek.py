@@ -104,8 +104,19 @@ class OSEKStackAnalysis:
             chain.append(self.tasks[cursor])
             cursor = best_prev[cursor]
         chain.reverse()
+        # The naive reference (every task's stack simply summed) must
+        # charge kernel overhead under the *same* preemption-
+        # eligibility rule as the chains above: a task contributes a
+        # preemption only if it can actually preempt some other task
+        # (priority above that task's threshold).  Charging a flat
+        # (n-1) would overstate the naive bound — and so the reported
+        # savings — for threshold-grouped sets where nothing nests.
+        preemptors = sum(
+            1 for task in self.tasks
+            if any(task.priority > other.effective_threshold
+                   for other in self.tasks if other is not task))
         naive = sum(task.stack_bound for task in self.tasks) + \
-            self.kernel_overhead * (len(self.tasks) - 1)
+            self.kernel_overhead * min(preemptors, len(self.tasks) - 1)
         return SystemStackResult(
             bound=best_total[best_index],
             chain=chain,

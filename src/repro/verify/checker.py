@@ -11,7 +11,13 @@ analysis results, and a set of concrete runs, check that
 * measured loop iteration counts respect the loop bounds (S5),
 * an overlapped-pipeline bound never exceeds the additive reference
   bound for the same task (S6, when a reference result is supplied —
-  overlap can only tighten).
+  overlap can only tighten),
+* a *preempted* run's observed response stays within the analyzed
+  response time `R_i` (S7) and the extra cache misses the victim
+  suffers after preemptions stay within the CRPD extra-miss budget
+  (S8) — the multi-task obligations of :mod:`repro.rta`, exercised
+  through the preemptive simulator hook
+  (:meth:`repro.sim.cpu.Simulator.run_preemptive`).
 
 This is the harness a certification workflow would run in hardware-in-
 the-loop testing to corroborate (never replace) the static argument.
@@ -200,6 +206,75 @@ class BoundChecker:
                 report.violations.append(Violation(
                     "S5", f"loop header 0x{address:x} executed "
                     f"{executed} times, nest allowance is {limit}"))
+
+
+def check_preempted_run(result: ExecutionResult,
+                        solo: ExecutionResult,
+                        response_bound: Optional[int],
+                        fetch_miss_budget: int,
+                        data_miss_budget: int,
+                        report: VerificationReport,
+                        label: str = "") -> None:
+    """S7/S8 for one preempted execution.
+
+    ``solo`` is the same victim run without preemptions; the budgets
+    are *per preemption* (they scale by the number of preemptions the
+    run actually served).  ``response_bound`` is the analyzed response
+    time including the preemptors' own execution; ``None`` (the task
+    was not proven schedulable) skips S7 — there is no bound to hold.
+    """
+    tag = f" [{label}]" if label else ""
+    report.runs += 1
+    report.worst_cycles = max(report.worst_cycles, result.cycles)
+    report.worst_stack = max(report.worst_stack,
+                             result.max_stack_usage)
+    served = len(result.preemptions)
+    if response_bound is not None and result.cycles > response_bound:
+        report.violations.append(Violation(
+            "S7", f"preempted run took {result.cycles} cycles, "
+            f"analyzed response time is {response_bound}{tag}"))
+    extra_fetch = result.task_fetch_misses - solo.fetch_misses
+    extra_data = result.task_data_misses - solo.data_misses
+    if extra_fetch > fetch_miss_budget * served:
+        report.violations.append(Violation(
+            "S8", f"{extra_fetch} extra I-cache misses after "
+            f"{served} preemption(s), CRPD budget is "
+            f"{fetch_miss_budget} per preemption{tag}"))
+    if extra_data > data_miss_budget * served:
+        report.violations.append(Violation(
+            "S8", f"{extra_data} extra D-cache misses after "
+            f"{served} preemption(s), CRPD budget is "
+            f"{data_miss_budget} per preemption{tag}"))
+
+
+def verify_preemption(program: Program,
+                      preemptor: Program,
+                      config=None,
+                      response_bound: Optional[int] = None,
+                      fetch_miss_budget: int = 0,
+                      data_miss_budget: int = 0,
+                      fractions: Sequence[float] = (0.25, 0.5, 0.75),
+                      max_steps: int = 2_000_000,
+                      report: Optional[VerificationReport] = None,
+                      label: str = "") -> VerificationReport:
+    """Check S7/S8 for one victim/preemptor pair.
+
+    Runs the victim solo once, then once per entry of ``fractions``
+    with a single preemption by ``preemptor`` fired at that fraction
+    of the solo run's instruction count.
+    """
+    if report is None:
+        report = VerificationReport()
+    solo = Simulator(program, config=config).run(max_steps=max_steps)
+    for fraction in fractions:
+        simulator = Simulator(program, config=config)
+        preempted = simulator.run_preemptive(
+            [(int(solo.steps * fraction), preemptor)],
+            max_steps=max_steps)
+        check_preempted_run(preempted, solo, response_bound,
+                            fetch_miss_budget, data_miss_budget,
+                            report, label=f"{label}@{fraction}")
+    return report
 
 
 def verify_bounds(program: Program,

@@ -1,0 +1,95 @@
+"""Example OSEK-style task sets over the workload suite.
+
+The multi-task counterpart of :data:`repro.workloads.suite.WORKLOADS`:
+small task systems binding suite workloads, used by the RTA tests, the
+``rta-smoke`` CI job, and as documentation of the task-set JSON shape
+(``tasksets/*.json`` mirrors ``ecu_mix``).
+
+Periods are in cycles and chosen relative to the workloads' analyzed
+WCETs under the default machine: the first three sets are comfortably
+schedulable (so the CRPD-vs-naive comparison has finite responses on
+both sides), ``threshold_group`` disables preemption entirely through
+one shared threshold, and ``overload`` is deliberately infeasible
+(utilization > 1) to pin the divergence-handling verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rta.taskset import RTTask, TaskSet
+
+EXAMPLE_TASKSETS: Dict[str, TaskSet] = {}
+
+
+def _register(taskset: TaskSet) -> TaskSet:
+    EXAMPLE_TASKSETS[taskset.name] = taskset
+    return taskset
+
+
+#: Mixed ECU load: a fast control task over slower logging/background
+#: work.  All three can preempt whatever runs below them.
+ECU_MIX = _register(TaskSet(
+    name="ecu_mix",
+    context_switch_cycles=40,
+    tasks=(
+        RTTask(name="ctrl", workload="fibcall", priority=3,
+               period=6_000),
+        RTTask(name="sense", workload="bs", priority=2,
+               period=9_000, jitter=200),
+        RTTask(name="log", workload="cnt", priority=1,
+               period=40_000),
+    )))
+
+#: Signal-processing pair plus a housekeeping task.
+SENSOR_FUSION = _register(TaskSet(
+    name="sensor_fusion",
+    context_switch_cycles=25,
+    tasks=(
+        RTTask(name="filter", workload="fir", priority=3,
+               period=60_000),
+        RTTask(name="search", workload="bs", priority=2,
+               period=90_000),
+        RTTask(name="sort", workload="insertsort", priority=1,
+               period=300_000),
+    )))
+
+#: Control stack with release jitter on the preemptors.
+CONTROL_STACK = _register(TaskSet(
+    name="control_stack",
+    context_switch_cycles=30,
+    tasks=(
+        RTTask(name="fast", workload="fibcall", priority=2,
+               period=4_000, jitter=500),
+        RTTask(name="slow", workload="cnt", priority=1,
+               period=30_000),
+    )))
+
+#: One preemption-threshold group: every task's threshold is the
+#: system ceiling, so nothing ever nests — response times degrade to
+#: plain blocking-free WCETs and CRPD never applies (the RTA analogue
+#: of the stack analysis' non-nesting threshold groups).
+THRESHOLD_GROUP = _register(TaskSet(
+    name="threshold_group",
+    tasks=(
+        RTTask(name="a", workload="fibcall", priority=3, threshold=3,
+               period=5_000),
+        RTTask(name="b", workload="bs", priority=2, threshold=3,
+               period=8_000),
+        RTTask(name="c", workload="cnt", priority=1, threshold=3,
+               period=20_000),
+    )))
+
+#: Deliberately infeasible: utilization far above 1 — the recurrence
+#: must saturate into "unschedulable", never loop forever.
+OVERLOAD = _register(TaskSet(
+    name="overload",
+    tasks=(
+        RTTask(name="hog", workload="cnt", priority=2, period=1_000),
+        RTTask(name="starved", workload="fibcall", priority=1,
+               period=2_000),
+    )))
+
+
+def example_tasksets() -> List[TaskSet]:
+    return list(EXAMPLE_TASKSETS.values())

@@ -13,6 +13,8 @@ Covers the tentpole guarantees of the batch layer:
 import json
 import os
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -171,6 +173,157 @@ def test_sweep_cache_limit_mb_bounds_the_store(tmp_path):
     # The bound itself is unaffected by eviction.
     unlimited = sweep_suite("fibcall:full:krisc5", use_cache=False)
     assert result.bounds() == unlimited.bounds()
+
+
+def test_eviction_breaks_mtime_ties_by_path_not_size(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s", limit_bytes=10 ** 9)
+    keys = [cache.key(f"tie-{i}") for i in range(4)]
+    by_path = sorted(keys, key=cache._object_path)
+    # Give the path-smallest entries the LARGEST payloads: a sort that
+    # (wrongly) fell back to file size to break mtime ties would evict
+    # the path-largest entries first instead.
+    for rank, key in enumerate(by_path):
+        cache.store(key, b"z" * (1600 - 200 * rank))
+    stamp = 1_000_000
+    for key in keys:
+        os.utime(cache._object_path(key), (stamp, stamp))
+    cache.limit_bytes = 4096
+    trigger = cache.key("trigger")
+    cache.store(trigger, b"z" * 1000)
+    assert cache.evictions > 0
+    survivors = {key for key in keys
+                 if os.path.exists(cache._object_path(key))}
+    # Deterministic tie-break by path: the evicted set is exactly a
+    # prefix of the path order, independent of object sizes.
+    gone = [key for key in by_path if key not in survivors]
+    assert gone
+    assert gone == by_path[:len(gone)]
+    # The just-stored object is never the eviction victim.
+    assert os.path.exists(cache._object_path(trigger))
+
+
+def test_disk_tally_makes_under_limit_stores_rescan_free(tmp_path,
+                                                         monkeypatch):
+    cache = ArtifactCache(str(tmp_path), salt="s", limit_bytes=10 ** 6)
+    cache.store(cache.key("a"), b"x" * 100)
+    total, _ = cache._scan_objects()
+    assert cache._disk_bytes == total
+    # Once the tally is known and under the limit, further stores must
+    # not walk objects/ at all.
+    def boom():
+        raise AssertionError("store under the limit rescanned objects/")
+    monkeypatch.setattr(cache, "_scan_objects", boom)
+    cache.store(cache.key("b"), b"x" * 100)
+    assert cache.evictions == 0
+    monkeypatch.undo()
+    total, _ = cache._scan_objects()
+    assert cache._disk_bytes == total
+
+
+def test_disk_tally_resets_and_resyncs_on_drift(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s", limit_bytes=10 ** 6)
+    cache.store(cache.key("a"), b"x" * 100)
+    assert cache._disk_bytes is not None
+    # A concurrent worker shrinking the tree under us can drive the
+    # delta-tracked tally negative: that resets it to unknown ...
+    cache._disk_bytes_add(-(cache._disk_bytes + 1))
+    assert cache._disk_bytes is None
+    # ... and the next store's eviction check rescans and resyncs.
+    cache.store(cache.key("b"), b"x" * 100)
+    total, _ = cache._scan_objects()
+    assert cache._disk_bytes == total
+
+
+def test_disk_tally_tracks_overwrites(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s", limit_bytes=10 ** 6)
+    key = cache.key("a")
+    cache.store(key, b"x" * 5000)
+    cache.store(key, b"x" * 100)        # replaced, not accumulated
+    total, _ = cache._scan_objects()
+    assert cache._disk_bytes == total
+
+
+# -- Single-flight (in-flight dedup) ----------------------------------------
+
+
+def test_fetch_or_compute_single_flight(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s")
+    key = cache.key("slow-artifact")
+    entered = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    def compute():
+        calls.append("compute")
+        entered.set()
+        assert release.wait(10)
+        return "artifact"
+
+    outcomes = {}
+
+    def leader():
+        outcomes["leader"] = cache.fetch_or_compute(key, compute)
+
+    def follower():
+        outcomes["follower"] = cache.fetch_or_compute(
+            key, lambda: pytest.fail("follower recomputed"))
+
+    leader_thread = threading.Thread(target=leader)
+    leader_thread.start()
+    assert entered.wait(10)
+    follower_thread = threading.Thread(target=follower)
+    follower_thread.start()
+    # Let the follower park on the leader's latch, then release the
+    # computation.
+    time.sleep(0.05)
+    release.set()
+    leader_thread.join(10)
+    follower_thread.join(10)
+    assert calls == ["compute"]
+    assert outcomes["leader"] == ("artifact", True)
+    assert outcomes["follower"] == ("artifact", False)
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert key not in cache._inflight
+
+
+def test_fetch_or_compute_leader_failure_releases_followers(tmp_path):
+    cache = ArtifactCache(str(tmp_path), salt="s")
+    key = cache.key("fragile")
+    entered = threading.Event()
+    release = threading.Event()
+
+    def failing():
+        entered.set()
+        assert release.wait(10)
+        raise RuntimeError("leader died")
+
+    errors = []
+
+    def leader():
+        try:
+            cache.fetch_or_compute(key, failing)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    outcomes = {}
+
+    def follower():
+        outcomes["follower"] = cache.fetch_or_compute(key, lambda: 42)
+
+    leader_thread = threading.Thread(target=leader)
+    leader_thread.start()
+    assert entered.wait(10)
+    follower_thread = threading.Thread(target=follower)
+    follower_thread.start()
+    time.sleep(0.05)
+    release.set()
+    leader_thread.join(10)
+    follower_thread.join(10)
+    assert errors == ["leader died"]
+    # The follower took over leadership and computed for itself.
+    assert outcomes["follower"] == (42, True)
+    assert key not in cache._inflight
 
 
 def test_code_version_salt_is_stable_and_hex():

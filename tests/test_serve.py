@@ -353,6 +353,36 @@ def server(tmp_path_factory):
     thread.join(timeout=10)
 
 
+class TestSingleFlight:
+    def test_concurrent_identical_requests_compute_each_phase_once(
+            self, tmp_path):
+        # Regression: two simultaneous identical /analyze requests used
+        # to compute every phase twice — dedup only happened through
+        # the artifact store after completion.  The in-flight single-
+        # flight latch makes the second request block on the first's
+        # task, whichever order the pool schedules them in.
+        service = AnalysisService(cache_dir=str(tmp_path / "cache"),
+                                  workers=2)
+        try:
+            first = service.submit({"source": BASE})
+            second = service.submit({"source": BASE})
+            records = [finish(service, first), finish(service, second)]
+            per_phase = {phase: sorted(events(record)[phase]
+                                       for record in records)
+                         for phase in PHASES}
+            # Exactly one computation per phase across BOTH jobs.
+            assert per_phase == {phase: ["hit", "miss"]
+                                 for phase in PHASES}
+            # The shared cache saw exactly one miss per phase ...
+            assert service.stats()["cache"]["misses"] == len(PHASES)
+            # ... and both jobs' bounds are bit-identical to a cold,
+            # uncached analysis.
+            for record in records:
+                assert bounds(record) == cold_bounds(BASE)
+        finally:
+            service.close()
+
+
 def http_status(url, path, method="GET", body=None):
     request = urllib.request.Request(url + path, data=body, method=method)
     if body is not None:

@@ -196,6 +196,27 @@ class TestOSEKSystemAnalysis:
         ], kernel_overhead_per_preemption=32)
         assert result.bound == 232
 
+    def test_naive_sum_uses_the_same_preemption_rule(self):
+        # One shared threshold group: no task can preempt any other,
+        # so the naive reference must not charge kernel overhead
+        # either — a flat (n-1) would overstate the reported savings.
+        result = analyze_system_stack([
+            TaskSpec("a", 100, priority=1, threshold=3),
+            TaskSpec("b", 200, priority=2, threshold=3),
+            TaskSpec("c", 300, priority=3, threshold=3),
+        ], kernel_overhead_per_preemption=64)
+        assert result.bound == 300
+        assert result.naive_sum == 600      # zero preemption overheads
+        assert result.savings == 300
+        # Fully preemptive distinct priorities: the classic (n-1)
+        # overhead charge is unchanged.
+        result = analyze_system_stack([
+            TaskSpec("a", 100, priority=1),
+            TaskSpec("b", 200, priority=2),
+            TaskSpec("c", 300, priority=3),
+        ], kernel_overhead_per_preemption=64)
+        assert result.naive_sum == 600 + 2 * 64
+
     def test_invalid_specs_rejected(self):
         with pytest.raises(ValueError):
             analyze_system_stack([])
